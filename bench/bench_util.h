@@ -1,0 +1,48 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every bench constructs a fresh Testbed per configuration (state does not leak
+// across runs), disables simulated tx checksums for speed (modelling tx checksum
+// offload, exactly like the paper's NICs), and prints the paper's reference values
+// next to the measured ones so EXPERIMENTS.md can be filled by reading the output.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/sim/report.h"
+#include "src/sim/testbed.h"
+
+namespace tcprx {
+
+inline TestbedConfig MakeBenchConfig(SystemType system, bool optimized,
+                                     size_t num_nics = 5) {
+  TestbedConfig config;
+  config.stack = optimized ? StackConfig::Optimized(system) : StackConfig::Baseline(system);
+  config.stack.fill_tcp_checksums = false;  // tx checksum offload
+  config.num_nics = num_nics;
+  return config;
+}
+
+inline StreamResult RunStandardStream(const TestbedConfig& config,
+                                      size_t connections_per_nic = 1,
+                                      uint64_t measure_ms = 1000) {
+  Testbed bed(config);
+  Testbed::StreamOptions options;
+  options.connections_per_nic = connections_per_nic;
+  options.warmup = SimDuration::FromMillis(300);
+  options.measure = SimDuration::FromMillis(measure_ms);
+  return bed.RunStream(options);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace tcprx
+
+#endif  // BENCH_BENCH_UTIL_H_

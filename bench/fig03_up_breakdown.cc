@@ -1,0 +1,36 @@
+// Figure 3: Breakdown of receive processing overheads in a uniprocessor system
+// (baseline stack, full prefetching).
+//
+// Paper reference shares of the total: driver ~21%, TCP rx+tx ~21%, buffer +
+// non-proto ~25%, per-byte ~17%, misc ~16%; the per-packet routines excluding the
+// driver (46%) dominate the per-byte copy (17%).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace tcprx;
+  PrintHeader("Figure 3: Receive processing overhead breakdown (Linux UP, baseline)");
+
+  const StreamResult result = RunStandardStream(MakeBenchConfig(SystemType::kNativeUp, false));
+  PrintBreakdownTable("cycles per packet", NativeFigureCategories(), {"Uniprocessor"},
+                      {&result});
+
+  const CostCategory kStackNoDriver[] = {CostCategory::kRx, CostCategory::kTx,
+                                         CostCategory::kBuffer, CostCategory::kNonProto};
+  const CostCategory kProto[] = {CostCategory::kRx, CostCategory::kTx};
+  const CostCategory kBufNonProto[] = {CostCategory::kBuffer, CostCategory::kNonProto};
+  const CostCategory kDriverGroup[] = {CostCategory::kDriver};
+  const CostCategory kPerByteGroup[] = {CostCategory::kPerByte};
+
+  std::printf("\nshares of total (paper in parentheses):\n");
+  std::printf("  driver                 %5.1f%%  (21%%)\n", CategoryShare(result, kDriverGroup));
+  std::printf("  TCP/IP rx+tx           %5.1f%%  (21%%)\n", CategoryShare(result, kProto));
+  std::printf("  buffer + non-proto     %5.1f%%  (25%%)\n", CategoryShare(result, kBufNonProto));
+  std::printf("  per-packet (no driver) %5.1f%%  (46%%)\n",
+              CategoryShare(result, kStackNoDriver));
+  std::printf("  per-byte               %5.1f%%  (17%%)\n", CategoryShare(result, kPerByteGroup));
+  PrintStreamSummary("Linux UP baseline", result);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 6: Breakdown of receive processing overheads in Xen (baseline stack).
+//
+// Paper reference: the per-packet routines of the receive path (non-proto, netback,
+// netfront, tcp rx, tcp tx, buffer) add up to ~56% of the total, far above the
+// per-byte copies (~14%) even though the Xen path copies the data twice. The
+// virtualization routines alone (non-proto + netback + netfront + buffer) are ~46%,
+// dwarfing guest TCP/IP protocol processing (~10%).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace tcprx;
+  PrintHeader("Figure 6: Receive processing overhead breakdown (Xen guest, baseline)");
+
+  const StreamResult result =
+      RunStandardStream(MakeBenchConfig(SystemType::kXenGuest, false));
+  PrintBreakdownTable("cycles per packet", XenFigureCategories(), {"Xen"}, {&result});
+
+  const CostCategory kPerPacket[] = {CostCategory::kNonProto, CostCategory::kNetback,
+                                     CostCategory::kNetfront, CostCategory::kRx,
+                                     CostCategory::kTx,       CostCategory::kBuffer};
+  const CostCategory kVirtOnly[] = {CostCategory::kNonProto, CostCategory::kNetback,
+                                    CostCategory::kNetfront, CostCategory::kBuffer};
+  const CostCategory kProto[] = {CostCategory::kRx, CostCategory::kTx};
+  const CostCategory kPerByteGroup[] = {CostCategory::kPerByte};
+
+  std::printf("\nshares of total (paper in parentheses):\n");
+  std::printf("  per-packet routines     %5.1f%%  (56%%)\n", CategoryShare(result, kPerPacket));
+  std::printf("  virtualization routines %5.1f%%  (46%%)\n", CategoryShare(result, kVirtOnly));
+  std::printf("  guest TCP/IP            %5.1f%%  (10%%)\n", CategoryShare(result, kProto));
+  std::printf("  per-byte (two copies)   %5.1f%%  (14%%)\n",
+              CategoryShare(result, kPerByteGroup));
+  PrintStreamSummary("Xen baseline", result);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 12: Throughput scalability with the number of concurrent connections
+// (Linux SMP, Original vs Optimized).
+//
+// Paper reference: the optimized system keeps its advantage as connections grow to
+// 400, staying >= 40% above the baseline at 400 connections — aggregation still finds
+// in-sequence runs per flow even with hundreds of concurrent flows, because interrupt
+// batching delivers bursts from each.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace tcprx;
+  PrintHeader("Figure 12: Throughput vs number of connections (Linux SMP, 5 NICs)");
+
+  const std::vector<size_t> totals = {5, 25, 50, 100, 200, 400};
+  std::printf("\n%-12s %14s %14s %8s %10s\n", "connections", "Original Mb/s",
+              "Optimized Mb/s", "gain", "avg aggr");
+
+  double last_gain = 0;
+  for (const size_t total : totals) {
+    const size_t per_nic = total / 5;
+    const StreamResult original =
+        RunStandardStream(MakeBenchConfig(SystemType::kNativeSmp, false), per_nic, 700);
+    const StreamResult optimized =
+        RunStandardStream(MakeBenchConfig(SystemType::kNativeSmp, true), per_nic, 700);
+    last_gain = (optimized.throughput_mbps / original.throughput_mbps - 1) * 100;
+    std::printf("%-12zu %14.0f %14.0f %+7.0f%% %10.2f\n", total, original.throughput_mbps,
+                optimized.throughput_mbps, last_gain, optimized.avg_aggregation);
+  }
+  std::printf("\npaper: optimized stays ~40%% above baseline at 400 connections "
+              "(measured %+.0f%%)\n", last_gain);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a testbed, stream data into a receive server, and see what
+// Receive Aggregation + Acknowledgment Offload buy you.
+//
+// This is the 60-second tour of the library:
+//   1. Pick a StackConfig (system type + optimizations).
+//   2. Build a Testbed (server with N NICs + N client machines).
+//   3. Run the netperf-like stream workload.
+//   4. Read throughput, CPU utilization, and the per-category cycle profile.
+
+#include <cstdio>
+
+#include "src/sim/report.h"
+#include "src/sim/testbed.h"
+
+using namespace tcprx;
+
+namespace {
+
+StreamResult Run(bool optimized) {
+  TestbedConfig config;
+  config.stack = optimized ? StackConfig::Optimized(SystemType::kNativeUp)
+                           : StackConfig::Baseline(SystemType::kNativeUp);
+  config.stack.fill_tcp_checksums = false;  // model tx checksum offload
+  config.num_nics = 5;
+
+  Testbed bed(config);
+  Testbed::StreamOptions options;
+  options.connections_per_nic = 1;
+  options.warmup = SimDuration::FromMillis(300);
+  options.measure = SimDuration::FromMillis(700);
+  return bed.RunStream(options);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("tcprx quickstart: 5 clients stream MTU-sized TCP segments into one\n");
+  std::printf("receive server (3 GHz, Gigabit NICs), baseline vs optimized stack.\n\n");
+
+  const StreamResult baseline = Run(false);
+  const StreamResult optimized = Run(true);
+
+  PrintStreamSummary("baseline stack", baseline);
+  PrintStreamSummary("optimized stack", optimized);
+
+  PrintBreakdownTable("where the cycles went (per network packet)",
+                      NativeFigureCategories(), {"baseline", "optimized"},
+                      {&baseline, &optimized});
+
+  std::printf("\nThe optimized stack coalesced %.1f network packets per host packet on\n",
+              optimized.avg_aggregation);
+  std::printf("average and replaced %llu individually generated ACKs with %llu templates\n",
+              static_cast<unsigned long long>(optimized.acks_on_wire),
+              static_cast<unsigned long long>(optimized.ack_templates));
+  std::printf("expanded in the driver.\n");
+  return 0;
+}

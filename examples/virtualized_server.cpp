@@ -1,0 +1,66 @@
+// Virtualized receive server: a Linux guest behind a Xen-style driver domain.
+//
+// The paper's biggest win (86%) is in the virtualized configuration, because every
+// per-packet stage of the virtualization pipeline — bridge, netback, hypervisor grant
+// operations, netfront — is paid once per *host* packet after aggregation. This
+// example walks the pipeline stage by stage: it prints the per-category profile so
+// you can see which stages amortize fully (bridge), which amortize partially because
+// they keep per-fragment work (netback/netfront, hypervisor), and which do not move
+// at all (the two data copies).
+
+#include <cstdio>
+
+#include "src/sim/report.h"
+#include "src/sim/testbed.h"
+
+using namespace tcprx;
+
+namespace {
+
+StreamResult Run(bool optimized) {
+  TestbedConfig config;
+  config.stack = optimized ? StackConfig::Optimized(SystemType::kXenGuest)
+                           : StackConfig::Baseline(SystemType::kXenGuest);
+  config.stack.fill_tcp_checksums = false;
+  config.num_nics = 2;  // a guest rarely owns five physical NICs
+  Testbed bed(config);
+  Testbed::StreamOptions options;
+  options.warmup = SimDuration::FromMillis(300);
+  options.measure = SimDuration::FromMillis(700);
+  return bed.RunStream(options);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Bulk receive into a Xen guest through a driver domain (2 NICs).\n");
+
+  const StreamResult baseline = Run(false);
+  const StreamResult optimized = Run(true);
+
+  PrintBreakdownTable("cycles per network packet through the virtualization pipeline",
+                      XenFigureCategories(), {"baseline", "optimized"},
+                      {&baseline, &optimized});
+
+  auto at = [](const StreamResult& r, CostCategory c) {
+    return r.cycles_per_packet[static_cast<size_t>(c)];
+  };
+  std::printf("\nstage-by-stage effect of aggregation (factor %.1f):\n",
+              optimized.avg_aggregation);
+  std::printf("  bridge+netfilter  %5.0f -> %4.0f  (pure per-packet: amortizes fully)\n",
+              at(baseline, CostCategory::kNonProto), at(optimized, CostCategory::kNonProto));
+  std::printf("  netback           %5.0f -> %4.0f  (keeps per-fragment grant work)\n",
+              at(baseline, CostCategory::kNetback), at(optimized, CostCategory::kNetback));
+  std::printf("  netfront          %5.0f -> %4.0f  (keeps per-fragment work)\n",
+              at(baseline, CostCategory::kNetfront), at(optimized, CostCategory::kNetfront));
+  std::printf("  hypervisor        %5.0f -> %4.0f  (grant ops are per fragment)\n",
+              at(baseline, CostCategory::kXen), at(optimized, CostCategory::kXen));
+  std::printf("  data copies       %5.0f -> %4.0f  (per byte: does not move)\n",
+              at(baseline, CostCategory::kPerByte), at(optimized, CostCategory::kPerByte));
+
+  PrintStreamSummary("\nbaseline", baseline);
+  PrintStreamSummary("optimized", optimized);
+  std::printf("\nguest receive throughput improves %.0f%% on the same CPU budget.\n",
+              (optimized.throughput_mbps / baseline.throughput_mbps - 1) * 100);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// SkBuff: the host network stack's packet metadata structure (Linux sk_buff analogue).
+//
+// An SkBuff wraps one "host packet" as the stack sees it. For an ordinary packet that
+// is a single frame; for an aggregated packet (section 3.2 of the paper) the head
+// frame carries the rewritten TCP/IP header and the first payload, and `frags` chains
+// the payload of the subsequent network packets without copying. The per-fragment
+// metadata the modified TCP layer needs (ack numbers for congestion control, segment
+// boundaries for ACK generation) rides in `fragment_info`, exactly as the paper stores
+// it "in the packet metadata structure (sk_buff)".
+//
+// An SkBuff also represents a template ACK on the transmit path (section 4.2): the
+// head frame is the first ACK of the run and `template_ack_seqs` holds the ack numbers
+// of the ACKs the driver must re-generate from it.
+
+#ifndef SRC_BUFFER_SKBUFF_H_
+#define SRC_BUFFER_SKBUFF_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/buffer/packet.h"
+#include "src/wire/frame.h"
+
+namespace tcprx {
+
+// Per-network-packet record kept on an aggregated SkBuff.
+struct FragmentInfo {
+  uint32_t seq = 0;          // first sequence number of the fragment's payload
+  uint32_t ack = 0;          // the fragment's TCP acknowledgment number
+  uint16_t window = 0;       // the fragment's advertised window
+  uint32_t payload_len = 0;  // payload bytes in this fragment
+};
+
+struct SkBuff {
+  // The frame whose headers describe this host packet. For aggregated packets the
+  // headers here have been rewritten by the aggregation engine.
+  PacketPtr head;
+
+  // Payload-bearing continuation frames of an aggregated packet, in sequence order.
+  // Each fragment's payload location is recorded alongside; header bytes of the
+  // fragment frames are dead weight, never reparsed.
+  struct Fragment {
+    PacketPtr frame;
+    size_t payload_offset = 0;
+    size_t payload_size = 0;
+  };
+  std::vector<Fragment> frags;
+
+  // Parsed view of the head frame. Must be refreshed (ReparseHead) after any in-place
+  // header rewrite.
+  TcpFrameView view;
+
+  // True when the TCP checksum is known-good without software verification (NIC rx
+  // checksum offload, or an aggregate assembled from offload-verified fragments).
+  bool csum_verified = false;
+
+  // Aggregation metadata: one entry per constituent network packet, including the
+  // head. Empty for non-aggregated packets.
+  std::vector<FragmentInfo> fragment_info;
+
+  // ACK-offload metadata: ack numbers of the ACKs to re-generate from this template,
+  // *excluding* the head's own ack number. Empty for ordinary transmits.
+  std::vector<uint32_t> template_ack_seqs;
+
+  // Number of network TCP segments this host packet stands for.
+  size_t SegmentCount() const { return fragment_info.empty() ? 1 : fragment_info.size(); }
+
+  // Total TCP payload bytes across head + fragments.
+  size_t PayloadSize() const;
+
+  // Calls `fn` over each payload region in sequence order.
+  void ForEachPayload(const std::function<void(std::span<const uint8_t>)>& fn) const;
+
+  // Re-parses the head frame after an in-place rewrite; aborts if the head no longer
+  // parses (that would be an aggregation-engine bug).
+  void ReparseHead();
+};
+
+using SkBuffPtr = std::unique_ptr<SkBuff>;
+
+// Freelist allocator for SkBuff metadata. Linux spends a significant share of its
+// buffer-management cycles on sk_buff alloc/free (section 2.2); the pool's counters
+// let the cost model charge that per operation.
+class SkBuffPool {
+ public:
+  SkBuffPool() = default;
+  SkBuffPool(const SkBuffPool&) = delete;
+  SkBuffPool& operator=(const SkBuffPool&) = delete;
+
+  // Builds an SkBuff around `frame`, parsing it. Returns nullptr when the frame is not
+  // a TCP/IPv4 packet (the caller then routes it off the TCP path).
+  SkBuffPtr Wrap(PacketPtr frame);
+
+  struct Stats {
+    uint64_t allocations = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Stats stats_;
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_BUFFER_SKBUFF_H_

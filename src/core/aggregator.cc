@@ -1,0 +1,274 @@
+#include "src/core/aggregator.h"
+
+#include <algorithm>
+
+#include "src/util/byte_order.h"
+#include "src/util/checksum.h"
+#include "src/util/logging.h"
+
+namespace tcprx {
+
+namespace {
+
+// Largest IP datagram we allow an aggregate to grow to.
+constexpr size_t kMaxAggregateDatagram = 0xffff;
+
+// Finds the offset of the timestamp option's kind byte within `options`, or -1.
+int FindTimestampOption(std::span<const uint8_t> options) {
+  size_t i = 0;
+  while (i < options.size()) {
+    const uint8_t kind = options[i];
+    if (kind == kTcpOptEnd) {
+      break;
+    }
+    if (kind == kTcpOptNop) {
+      ++i;
+      continue;
+    }
+    if (i + 1 >= options.size()) {
+      break;
+    }
+    const uint8_t len = options[i + 1];
+    if (len < 2 || i + len > options.size()) {
+      break;
+    }
+    if (kind == kTcpOptTimestamp) {
+      return static_cast<int>(i);
+    }
+    i += len;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Aggregator::Aggregator(const AggregatorConfig& config, SkBuffPool& skb_pool, DeliverFn deliver)
+    : config_(config), skb_pool_(skb_pool), deliver_(std::move(deliver)) {
+  TCPRX_CHECK(config_.aggregation_limit >= 1);
+}
+
+Aggregator::Eligibility Aggregator::CheckEligibility(const Packet& frame,
+                                                     const TcpFrameView& view) const {
+  if (view.ip.HasOptions()) {
+    return {false, AggrBypassReason::kIpOptions};
+  }
+  if (view.ip.IsFragmented()) {
+    return {false, AggrBypassReason::kIpFragment};
+  }
+  if (!VerifyIpv4Checksum(
+          frame.Bytes().subspan(view.ip_offset, view.ip.HeaderSize()))) {
+    return {false, AggrBypassReason::kBadIpChecksum};
+  }
+  if (!frame.nic_checksum_verified) {
+    // Software TCP checksum verification would defeat the optimization; without rx
+    // checksum offload the paper disables Receive Aggregation outright.
+    return {false, AggrBypassReason::kNoNicChecksum};
+  }
+  if (view.payload_size == 0) {
+    return {false, AggrBypassReason::kZeroPayload};
+  }
+  constexpr uint8_t kDisallowed = kTcpSyn | kTcpFin | kTcpRst | kTcpUrg;
+  if ((view.tcp.flags & kDisallowed) != 0) {
+    return {false, AggrBypassReason::kSpecialFlags};
+  }
+  if (!view.tcp.OptionsOnlyTimestamp()) {
+    return {false, AggrBypassReason::kBadOptions};
+  }
+  return {true, AggrBypassReason::kCount};
+}
+
+void Aggregator::Push(PacketPtr frame) {
+  ++stats_.pushed;
+  auto parsed = ParseTcpFrame(frame->Bytes());
+  if (!parsed.has_value()) {
+    ++stats_.bypass[static_cast<size_t>(AggrBypassReason::kNotTcp)];
+    if (deliver_raw_) {
+      ++stats_.raw_delivered;
+      deliver_raw_(std::move(frame));
+    } else {
+      ++stats_.raw_dropped;
+    }
+    return;
+  }
+  TcpFrameView view = std::move(*parsed);
+  const FlowKey key{view.ip.src, view.ip.dst, view.tcp.src_port, view.tcp.dst_port};
+
+  const Eligibility elig = CheckEligibility(*frame, view);
+  if (!elig.eligible) {
+    ++stats_.bypass[static_cast<size_t>(elig.reason)];
+    // Never let a bypassing packet overtake its flow's partial aggregate.
+    FlushFlow(key);
+    ++stats_.passthrough;
+    SkBuffPtr skb = skb_pool_.Wrap(std::move(frame));
+    TCPRX_CHECK(skb != nullptr);  // it parsed above
+    DeliverSkb(std::move(skb));
+    return;
+  }
+
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    if (TryAppend(it->second, frame, view)) {
+      if (it->second.skb->fragment_info.size() >= config_.aggregation_limit) {
+        ++stats_.limit_flushes;
+        Finalize(key, /*by_limit=*/true);
+      }
+      return;
+    }
+    // Doesn't chain: deliver the partial, then start fresh with this packet.
+    ++stats_.mismatch_flushes;
+    Finalize(key, /*by_limit=*/false);
+  }
+  StartPartial(key, std::move(frame), std::move(view));
+  if (config_.aggregation_limit == 1) {
+    ++stats_.limit_flushes;
+    Finalize(key, /*by_limit=*/true);
+  }
+}
+
+void Aggregator::StartPartial(const FlowKey& key, PacketPtr frame, TcpFrameView view) {
+  Partial partial;
+  partial.next_seq = view.tcp.seq + static_cast<uint32_t>(view.payload_size);
+  partial.last_ack = view.tcp.ack;
+  partial.last_window = view.tcp.window;
+  partial.has_timestamp = view.tcp.timestamp.has_value();
+  if (partial.has_timestamp) {
+    partial.last_ts = *view.tcp.timestamp;
+  }
+  partial.last_flags = view.tcp.flags;
+  partial.tos = view.ip.tos;
+  partial.ttl = view.ip.ttl;
+  partial.total_payload = view.payload_size;
+
+  SkBuffPtr skb = skb_pool_.Wrap(std::move(frame));
+  TCPRX_CHECK(skb != nullptr);
+  skb->fragment_info.push_back(FragmentInfo{view.tcp.seq, view.tcp.ack, view.tcp.window,
+                                            static_cast<uint32_t>(view.payload_size)});
+  partial.skb = std::move(skb);
+
+  table_.emplace(key, std::move(partial));
+  flow_order_.push_back(key);
+}
+
+bool Aggregator::TryAppend(Partial& partial, PacketPtr& frame, const TcpFrameView& view) {
+  // In-sequence by sequence number (section 3.1).
+  if (view.tcp.seq != partial.next_seq) {
+    return false;
+  }
+  // In-sequence by acknowledgment number: never decreasing.
+  if (!SeqGe(view.tcp.ack, partial.last_ack)) {
+    return false;
+  }
+  // Identical option structure: both with timestamps or both without.
+  if (view.tcp.timestamp.has_value() != partial.has_timestamp) {
+    return false;
+  }
+  // Identical IP TOS and TTL: differing values would be lost by coalescing (the same
+  // rule Linux GRO applies).
+  if (view.ip.tos != partial.tos || view.ip.ttl != partial.ttl) {
+    return false;
+  }
+  // The aggregate must stay within one IP datagram.
+  const size_t head_headers = partial.skb->view.payload_offset - partial.skb->view.ip_offset;
+  if (head_headers + partial.total_payload + view.payload_size > kMaxAggregateDatagram) {
+    return false;
+  }
+
+  partial.skb->frags.push_back(
+      SkBuff::Fragment{std::move(frame), view.payload_offset, view.payload_size});
+  partial.skb->fragment_info.push_back(FragmentInfo{view.tcp.seq, view.tcp.ack, view.tcp.window,
+                                                    static_cast<uint32_t>(view.payload_size)});
+  partial.next_seq = view.tcp.seq + static_cast<uint32_t>(view.payload_size);
+  partial.last_ack = view.tcp.ack;
+  partial.last_window = view.tcp.window;
+  if (view.tcp.timestamp.has_value()) {
+    partial.last_ts = *view.tcp.timestamp;
+  }
+  partial.last_flags = view.tcp.flags;
+  partial.total_payload += view.payload_size;
+  ++stats_.aggregated_segments;
+  return true;
+}
+
+void Aggregator::RewriteAggregateHeader(Partial& partial) {
+  SkBuff& skb = *partial.skb;
+  std::span<uint8_t> bytes = skb.head->MutableBytes();
+  const size_t ip_off = skb.view.ip_offset;
+  const size_t tcp_off = skb.view.tcp_offset;
+  const size_t ip_hsize = skb.view.ip.HeaderSize();
+  const size_t tcp_hsize = skb.view.tcp.HeaderSize();
+
+  // IP total length covers the whole aggregate; fresh header checksum (the paper
+  // recomputes the IP checksum of the aggregated packet).
+  const uint16_t total_length =
+      static_cast<uint16_t>(ip_hsize + tcp_hsize + partial.total_payload);
+  StoreBe16(bytes.data() + ip_off + 2, total_length);
+  StoreBe16(bytes.data() + ip_off + 10, 0);
+  const uint16_t ip_csum = InternetChecksum(bytes.subspan(ip_off, ip_hsize));
+  StoreBe16(bytes.data() + ip_off + 10, ip_csum);
+
+  // TCP: ack number and window from the last fragment; sequence number stays the
+  // first fragment's (already in place).
+  StoreBe32(bytes.data() + tcp_off + 8, partial.last_ack);
+  StoreBe16(bytes.data() + tcp_off + 14, partial.last_window);
+  // Propagate the last fragment's PSH bit.
+  if ((partial.last_flags & kTcpPsh) != 0) {
+    bytes[tcp_off + 13] |= kTcpPsh;
+  }
+  // Timestamp copied from the last fragment (section 3.2).
+  if (partial.has_timestamp) {
+    const std::span<uint8_t> options =
+        bytes.subspan(tcp_off + kTcpMinHeaderSize, tcp_hsize - kTcpMinHeaderSize);
+    const int ts_at = FindTimestampOption(options);
+    TCPRX_CHECK_MSG(ts_at >= 0, "timestamp option vanished from aggregate head");
+    StoreBe32(options.data() + ts_at + 2, partial.last_ts.value);
+    StoreBe32(options.data() + ts_at + 6, partial.last_ts.echo_reply);
+  }
+  // The TCP checksum is NOT recomputed: every constituent was verified by the NIC, so
+  // the aggregate is marked pre-verified instead (section 3.2).
+  skb.csum_verified = true;
+  skb.ReparseHead();
+}
+
+void Aggregator::Finalize(const FlowKey& key, bool /*by_limit*/) {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    return;
+  }
+  Partial partial = std::move(it->second);
+  table_.erase(it);
+  auto pos = std::find(flow_order_.begin(), flow_order_.end(), key);
+  TCPRX_CHECK(pos != flow_order_.end());
+  flow_order_.erase(pos);
+
+  if (partial.skb->fragment_info.size() == 1) {
+    // A lone packet is delivered unmodified; drop the metadata so the TCP layer treats
+    // it exactly like a packet that never met the aggregator.
+    partial.skb->fragment_info.clear();
+    DeliverSkb(std::move(partial.skb));
+    return;
+  }
+  RewriteAggregateHeader(partial);
+  ++stats_.aggregates_delivered;
+  DeliverSkb(std::move(partial.skb));
+}
+
+void Aggregator::DeliverSkb(SkBuffPtr skb) {
+  ++stats_.host_packets;
+  deliver_(std::move(skb));
+}
+
+void Aggregator::FlushFlow(const FlowKey& key) {
+  if (table_.find(key) != table_.end()) {
+    ++stats_.idle_flushes;
+    Finalize(key, /*by_limit=*/false);
+  }
+}
+
+void Aggregator::FlushAll() {
+  while (!flow_order_.empty()) {
+    ++stats_.idle_flushes;
+    Finalize(flow_order_.front(), /*by_limit=*/false);
+  }
+}
+
+}  // namespace tcprx

@@ -1,0 +1,47 @@
+#include "src/core/template_ack.h"
+
+#include "src/util/byte_order.h"
+#include "src/util/checksum.h"
+#include "src/util/logging.h"
+
+namespace tcprx {
+
+SkBuffPtr BuildTemplateAck(SkBuffPool& skb_pool, PacketPool& packet_pool,
+                           std::span<const uint8_t> first_ack_frame,
+                           std::span<const uint32_t> extra_acks) {
+  PacketPtr frame = packet_pool.Allocate(first_ack_frame);
+  SkBuffPtr skb = skb_pool.Wrap(std::move(frame));
+  TCPRX_CHECK_MSG(skb != nullptr, "template ACK frame must be a valid TCP frame");
+  TCPRX_CHECK_MSG(skb->view.payload_size == 0, "template ACK must be a pure ACK");
+  skb->template_ack_seqs.assign(extra_acks.begin(), extra_acks.end());
+  return skb;
+}
+
+void RewriteAckNumber(std::span<uint8_t> frame, size_t tcp_offset, uint32_t new_ack) {
+  uint8_t* ack_field = frame.data() + tcp_offset + 8;
+  const uint32_t old_ack = LoadBe32(ack_field);
+  StoreBe32(ack_field, new_ack);
+
+  uint8_t* csum_field = frame.data() + tcp_offset + 16;
+  const uint16_t old_csum = LoadBe16(csum_field);
+  if (old_csum != 0) {
+    // RFC 1624 incremental update keeps the checksum valid without touching the rest
+    // of the packet. A zero checksum means tx checksum offload; leave it zero.
+    StoreBe16(csum_field, ChecksumUpdateDword(old_csum, old_ack, new_ack));
+  }
+}
+
+std::vector<PacketPtr> ExpandTemplateAck(const SkBuff& tmpl, PacketPool& packet_pool) {
+  std::vector<PacketPtr> out;
+  out.reserve(1 + tmpl.template_ack_seqs.size());
+
+  out.push_back(packet_pool.Allocate(tmpl.head->Bytes()));
+  for (const uint32_t ack : tmpl.template_ack_seqs) {
+    PacketPtr copy = packet_pool.Allocate(tmpl.head->Bytes());
+    RewriteAckNumber(copy->MutableBytes(), tmpl.view.tcp_offset, ack);
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace tcprx

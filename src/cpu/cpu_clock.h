@@ -1,0 +1,66 @@
+// CPU time as a simulated resource.
+//
+// The receive host's CPU is the contended resource in every experiment: throughput
+// saturates when the CPU does. CpuClock converts charged cycles into simulated busy
+// time, serializing work the way a single receive path does (the paper's SMP results
+// show the receive path of one NIC set is effectively serialized by locking; we model
+// the SMP cost difference through the lock model, not through added parallelism).
+
+#ifndef SRC_CPU_CPU_CLOCK_H_
+#define SRC_CPU_CPU_CLOCK_H_
+
+#include <cstdint>
+
+#include "src/util/sim_time.h"
+
+namespace tcprx {
+
+class CpuClock {
+ public:
+  explicit CpuClock(uint64_t hz) : hz_(hz) {}
+
+  // Reserves `cycles` of CPU starting no earlier than `now`; returns the completion
+  // time. Work requested while the CPU is busy queues behind it.
+  SimTime Run(SimTime now, uint64_t cycles) {
+    const SimTime start = now > busy_until_ ? now : busy_until_;
+    const uint64_t nanos = CyclesToNanos(cycles);
+    busy_until_ = start + SimTime::FromNanos(nanos);
+    busy_cycles_ += cycles;
+    return busy_until_;
+  }
+
+  // Time at which previously reserved work completes.
+  SimTime busy_until() const { return busy_until_; }
+
+  bool IdleAt(SimTime t) const { return busy_until_ <= t; }
+
+  uint64_t busy_cycles() const { return busy_cycles_; }
+  uint64_t hz() const { return hz_; }
+
+  // Fraction of [start, end) the CPU spent busy (by charged cycles).
+  double Utilization(SimTime start, SimTime end) const {
+    const uint64_t window_ns = end.nanos() - start.nanos();
+    if (window_ns == 0) {
+      return 0.0;
+    }
+    const double busy_ns = static_cast<double>(busy_cycles_) * 1e9 / static_cast<double>(hz_);
+    const double u = busy_ns / static_cast<double>(window_ns);
+    return u > 1.0 ? 1.0 : u;
+  }
+
+  void ResetStats() { busy_cycles_ = 0; }
+
+ private:
+  uint64_t CyclesToNanos(uint64_t cycles) const {
+    // round up so work never takes zero time
+    return (cycles * 1'000'000'000ull + hz_ - 1) / hz_;
+  }
+
+  uint64_t hz_;
+  SimTime busy_until_;
+  uint64_t busy_cycles_ = 0;
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_CPU_CPU_CLOCK_H_

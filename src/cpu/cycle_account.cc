@@ -1,0 +1,33 @@
+#include "src/cpu/cycle_account.h"
+
+namespace tcprx {
+
+const char* CostCategoryName(CostCategory c) {
+  switch (c) {
+    case CostCategory::kPerByte:
+      return "per-byte";
+    case CostCategory::kRx:
+      return "rx";
+    case CostCategory::kTx:
+      return "tx";
+    case CostCategory::kBuffer:
+      return "buffer";
+    case CostCategory::kNonProto:
+      return "non-proto";
+    case CostCategory::kDriver:
+      return "driver";
+    case CostCategory::kAggr:
+      return "aggr";
+    case CostCategory::kNetback:
+      return "netback";
+    case CostCategory::kNetfront:
+      return "netfront";
+    case CostCategory::kXen:
+      return "xen";
+    case CostCategory::kMisc:
+      return "misc";
+  }
+  return "?";
+}
+
+}  // namespace tcprx

@@ -1,0 +1,66 @@
+#include "src/driver/poll_driver.h"
+
+namespace tcprx {
+
+void PollDriver::AttachNic(SimulatedNic* nic) {
+  nics_.push_back(nic);
+  nic->set_on_rx_interrupt([this] { OnInterrupt(); });
+}
+
+void PollDriver::OnInterrupt() {
+  if (polling_) {
+    return;
+  }
+  polling_ = true;
+  for (SimulatedNic* nic : nics_) {
+    nic->SetPollMode(true);
+  }
+  ++stats_.wakeups;
+  stack_.ChargeWakeup();
+  // Start polling once the CPU is free (interrupt work queues behind whatever the
+  // CPU is doing).
+  const SimTime start =
+      loop_.Now() > cpu_.busy_until() ? loop_.Now() : cpu_.busy_until();
+  loop_.ScheduleAt(start, [this] { Poll(); });
+}
+
+SimulatedNic* PollDriver::NextNonEmptyNic() {
+  for (size_t i = 0; i < nics_.size(); ++i) {
+    SimulatedNic* nic = nics_[(rr_next_ + i) % nics_.size()];
+    if (!nic->RxEmpty()) {
+      rr_next_ = (rr_next_ + i + 1) % nics_.size();
+      return nic;
+    }
+  }
+  return nullptr;
+}
+
+void PollDriver::Poll() {
+  SimulatedNic* nic = NextNonEmptyNic();
+  if (nic == nullptr) {
+    // The stack is about to go idle: deliver all partial aggregates (work
+    // conservation), account the flush work, and re-enable interrupts.
+    ++stats_.idle_flushes;
+    stack_.BeginDriverBatch();
+    stack_.OnReceiveQueueEmpty();
+    const uint64_t cycles = stack_.TakeBatchCycles();
+    const SimTime done = cycles > 0 ? cpu_.Run(loop_.Now(), cycles) : loop_.Now();
+    stack_.FlushDriverBatch(done);
+    polling_ = false;
+    for (SimulatedNic* n : nics_) {
+      n->SetPollMode(false);
+    }
+    return;
+  }
+
+  PacketPtr frame = nic->PopRx();
+  ++stats_.frames_polled;
+  stack_.BeginDriverBatch();
+  stack_.ReceiveFrame(std::move(frame));
+  const uint64_t cycles = stack_.TakeBatchCycles();
+  const SimTime done = cpu_.Run(loop_.Now(), cycles);
+  stack_.FlushDriverBatch(done);
+  loop_.ScheduleAt(done, [this] { Poll(); });
+}
+
+}  // namespace tcprx

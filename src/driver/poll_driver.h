@@ -1,0 +1,56 @@
+// NAPI-style poll-mode receive driver.
+//
+// Owns the interrupt/poll discipline for a set of NICs feeding one NetworkStack on
+// one CPU: an interrupt enters poll mode (masking further interrupts), the poll loop
+// drains frames round-robin — one frame per event so CPU busy time advances at frame
+// granularity — and when every ring is empty the driver performs the work-conserving
+// aggregation flush (section 3.5 of the paper: "whenever the aggregation routine runs
+// out of network packets to process, it immediately clears out all partially
+// aggregated packets") and re-enables interrupts.
+
+#ifndef SRC_DRIVER_POLL_DRIVER_H_
+#define SRC_DRIVER_POLL_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cpu/cpu_clock.h"
+#include "src/nic/nic.h"
+#include "src/stack/network_stack.h"
+#include "src/util/event_loop.h"
+
+namespace tcprx {
+
+class PollDriver {
+ public:
+  PollDriver(EventLoop& loop, NetworkStack& stack, CpuClock& cpu)
+      : loop_(loop), stack_(stack), cpu_(cpu) {}
+
+  // Registers a NIC; its rx interrupts now wake this driver.
+  void AttachNic(SimulatedNic* nic);
+
+  struct Stats {
+    uint64_t wakeups = 0;        // interrupt -> poll-mode transitions
+    uint64_t frames_polled = 0;  // frames pulled off rx rings
+    uint64_t idle_flushes = 0;   // times the rings ran dry and the aggregator flushed
+  };
+  const Stats& stats() const { return stats_; }
+  bool polling() const { return polling_; }
+
+ private:
+  void OnInterrupt();
+  void Poll();
+  SimulatedNic* NextNonEmptyNic();
+
+  EventLoop& loop_;
+  NetworkStack& stack_;
+  CpuClock& cpu_;
+  std::vector<SimulatedNic*> nics_;
+  size_t rr_next_ = 0;
+  bool polling_ = false;
+  Stats stats_;
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_DRIVER_POLL_DRIVER_H_

@@ -1,0 +1,78 @@
+#include "src/nic/nic.h"
+
+#include "src/util/byte_order.h"
+#include "src/util/logging.h"
+
+namespace tcprx {
+
+SimulatedNic::SimulatedNic(int id, const NicConfig& config, EventLoop& loop, PacketPool& pool)
+    : id_(id), config_(config), loop_(loop), pool_(pool), rx_ring_(config.rx_ring_entries) {}
+
+void SimulatedNic::DeliverFromWire(std::vector<uint8_t> frame) {
+  PacketPtr p = pool_.AllocateMoved(std::move(frame));
+  p->arrival_time = loop_.Now();
+  p->ingress_nic = id_;
+
+  if (config_.rx_checksum_offload) {
+    // The offload engine verifies the TCP checksum in hardware. A zero checksum field
+    // models a sender whose own NIC filled it on the wire (tx offload); the simulation
+    // skips materializing it and trusts the frame.
+    if (auto view = ParseTcpFrame(p->Bytes()); view.has_value()) {
+      const uint16_t wire_csum = LoadBe16(p->Bytes().data() + view->tcp_offset + 16);
+      bool good = true;
+      if (wire_csum != 0) {
+        const size_t seg_len = view->ip.total_length - view->ip.HeaderSize();
+        good = VerifyTcpChecksum(view->ip.src, view->ip.dst,
+                                 p->Bytes().subspan(view->tcp_offset, seg_len));
+      }
+      p->nic_checksum_verified = good;
+      if (good) {
+        ++stats_.rx_csum_good;
+      } else {
+        ++stats_.rx_csum_bad;
+      }
+    }
+  }
+
+  ++stats_.rx_frames;
+  const SimTime now = loop_.Now();
+  link_busy_ = stats_.rx_frames > 1 && (now - last_arrival_) < config_.moderation_gap;
+  last_arrival_ = now;
+
+  if (!rx_ring_.Push(std::move(p))) {
+    ++stats_.rx_dropped;
+    return;
+  }
+  MaybeRaiseInterrupt();
+}
+
+void SimulatedNic::MaybeRaiseInterrupt() {
+  if (poll_mode_ || interrupt_pending_ || !on_rx_interrupt_) {
+    return;
+  }
+  interrupt_pending_ = true;
+  const SimDuration delay =
+      link_busy_ ? config_.moderation_delay : config_.interrupt_delay;
+  loop_.ScheduleAfter(delay, [this] {
+    interrupt_pending_ = false;
+    if (!poll_mode_ && !rx_ring_.Empty() && on_rx_interrupt_) {
+      on_rx_interrupt_();
+    }
+  });
+}
+
+void SimulatedNic::SetPollMode(bool enabled) {
+  poll_mode_ = enabled;
+  if (!enabled && !rx_ring_.Empty()) {
+    // Frames raced in while interrupts were masked.
+    MaybeRaiseInterrupt();
+  }
+}
+
+void SimulatedNic::Transmit(std::vector<uint8_t> frame) {
+  TCPRX_CHECK_MSG(egress_ != nullptr, "NIC has no egress link attached");
+  ++stats_.tx_frames;
+  egress_->Send(std::move(frame));
+}
+
+}  // namespace tcprx

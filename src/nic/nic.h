@@ -1,0 +1,97 @@
+// Simulated network interface card (receive side of the host under test).
+//
+// Models the properties the paper's mechanisms depend on: an rx descriptor ring of
+// finite size (overflow = drop, which is how CPU saturation turns into TCP loss and
+// thus into reduced throughput), rx checksum offload (a hard precondition for Receive
+// Aggregation, section 3.1), and interrupt signalling with NAPI-style poll mode (the
+// host disables further interrupts while it is draining the ring).
+//
+// All NIC work is free of host CPU cycles — it is hardware. The driver module charges
+// the per-frame driver cycles when it touches the ring.
+
+#ifndef SRC_NIC_NIC_H_
+#define SRC_NIC_NIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/buffer/packet.h"
+#include "src/nic/link.h"
+#include "src/util/event_loop.h"
+#include "src/util/ring.h"
+#include "src/wire/frame.h"
+
+namespace tcprx {
+
+struct NicConfig {
+  size_t rx_ring_entries = 256;
+  bool rx_checksum_offload = true;
+  // Interrupt assertion latency after a frame lands while not in poll mode.
+  SimDuration interrupt_delay = SimDuration::FromMicros(4);
+  // Adaptive interrupt moderation (e1000 ITR style): when consecutive frames arrive
+  // closer than `moderation_gap`, the next interrupt is deferred by
+  // `moderation_delay` so bulk traffic is serviced in batches — the batching that
+  // lets Receive Aggregation find runs of in-sequence packets — while sparse
+  // (latency-sensitive) traffic still gets the fast interrupt path.
+  SimDuration moderation_delay = SimDuration::FromMicros(120);
+  SimDuration moderation_gap = SimDuration::FromMicros(50);
+};
+
+class SimulatedNic {
+ public:
+  SimulatedNic(int id, const NicConfig& config, EventLoop& loop, PacketPool& pool);
+
+  // ---- Link side -------------------------------------------------------------------
+  // A frame arrived from the wire. Stamps offload metadata, enqueues to the rx ring
+  // (dropping on overflow), and raises an interrupt unless the host is polling.
+  void DeliverFromWire(std::vector<uint8_t> frame);
+
+  // Transmit path: hand a fully built frame to the attached egress link.
+  void Transmit(std::vector<uint8_t> frame);
+  void AttachEgress(SimplexLink* link) { egress_ = link; }
+
+  // ---- Host (driver) side ---------------------------------------------------------
+  // The driver's interrupt handler. Invoked through the event loop.
+  void set_on_rx_interrupt(std::function<void()> fn) { on_rx_interrupt_ = std::move(fn); }
+
+  // While in poll mode the NIC never schedules interrupts; the host re-enables them
+  // when it has drained the ring.
+  void SetPollMode(bool enabled);
+  bool poll_mode() const { return poll_mode_; }
+
+  PacketPtr PopRx() { return rx_ring_.Pop().value_or(nullptr); }
+  bool RxEmpty() const { return rx_ring_.Empty(); }
+  size_t RxQueued() const { return rx_ring_.Size(); }
+
+  int id() const { return id_; }
+
+  struct Stats {
+    uint64_t rx_frames = 0;
+    uint64_t rx_dropped = 0;   // ring overflow
+    uint64_t rx_csum_good = 0;
+    uint64_t rx_csum_bad = 0;  // frames whose TCP checksum failed offload verification
+    uint64_t tx_frames = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void MaybeRaiseInterrupt();
+
+  int id_;
+  NicConfig config_;
+  EventLoop& loop_;
+  PacketPool& pool_;
+  SpscRing<PacketPtr> rx_ring_;
+  SimplexLink* egress_ = nullptr;
+  std::function<void()> on_rx_interrupt_;
+  bool poll_mode_ = false;
+  bool interrupt_pending_ = false;
+  bool link_busy_ = false;  // recent arrivals closer than moderation_gap
+  SimTime last_arrival_;
+  Stats stats_;
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_NIC_NIC_H_

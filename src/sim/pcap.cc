@@ -1,0 +1,55 @@
+#include "src/sim/pcap.h"
+
+namespace tcprx {
+
+namespace {
+constexpr uint32_t kPcapMagic = 0xa1b2c3d4;  // microsecond timestamps, host order
+constexpr uint16_t kVersionMajor = 2;
+constexpr uint16_t kVersionMinor = 4;
+constexpr uint32_t kSnapLen = 65535;
+constexpr uint32_t kLinkTypeEthernet = 1;
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return;
+  }
+  Put32(kPcapMagic);
+  Put16(kVersionMajor);
+  Put16(kVersionMinor);
+  Put32(0);  // thiszone
+  Put32(0);  // sigfigs
+  Put32(kSnapLen);
+  Put32(kLinkTypeEthernet);
+}
+
+PcapWriter::~PcapWriter() { Close(); }
+
+void PcapWriter::Put32(uint32_t v) { std::fwrite(&v, sizeof(v), 1, file_); }
+void PcapWriter::Put16(uint16_t v) { std::fwrite(&v, sizeof(v), 1, file_); }
+
+void PcapWriter::Record(SimTime when, std::span<const uint8_t> frame) {
+  if (file_ == nullptr) {
+    return;
+  }
+  const uint64_t micros = when.nanos() / 1000;
+  Put32(static_cast<uint32_t>(micros / 1'000'000));
+  Put32(static_cast<uint32_t>(micros % 1'000'000));
+  const uint32_t len = static_cast<uint32_t>(frame.size());
+  const uint32_t captured = len < kSnapLen ? len : kSnapLen;
+  Put32(captured);
+  Put32(len);
+  std::fwrite(frame.data(), 1, captured, file_);
+  ++frames_written_;
+  bytes_written_ += captured;
+}
+
+void PcapWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace tcprx

@@ -1,0 +1,52 @@
+// Classic libpcap capture-file writer.
+//
+// Frames tapped from the testbed links can be written to a standard .pcap file
+// (linktype EN10MB) and opened in tcpdump/Wireshark — the simulated wire traffic is
+// genuine Ethernet/IPv4/TCP, so external tooling decodes it natively. Timestamps are
+// simulated time.
+
+#ifndef SRC_SIM_PCAP_H_
+#define SRC_SIM_PCAP_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "src/util/sim_time.h"
+
+namespace tcprx {
+
+class PcapWriter {
+ public:
+  // Opens `path` and writes the global header. Check ok() before use.
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  // Appends one captured frame with the given simulated timestamp.
+  void Record(SimTime when, std::span<const uint8_t> frame);
+
+  // Flushes and closes; further Record calls are ignored. Also called by the
+  // destructor.
+  void Close();
+
+  uint64_t frames_written() const { return frames_written_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void Put32(uint32_t v);
+  void Put16(uint16_t v);
+
+  std::FILE* file_ = nullptr;
+  uint64_t frames_written_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_SIM_PCAP_H_

@@ -1,0 +1,51 @@
+#include "src/sim/remote_node.h"
+
+#include "src/core/template_ack.h"
+#include "src/wire/frame.h"
+
+namespace tcprx {
+
+TcpConnection* RemoteNode::CreateConnection(const TcpConnectionConfig& config) {
+  auto conn = std::make_unique<TcpConnection>(
+      config, loop_, [this](TcpOutputItem item) { HandleOutput(std::move(item)); });
+  TcpConnection* raw = conn.get();
+  demux_[raw->IncomingFlowKey()] = raw;
+  connections_.push_back(std::move(conn));
+  return raw;
+}
+
+void RemoteNode::HandleOutput(TcpOutputItem item) {
+  // Remotes have no ACK offload: expand any batch into individual frames, first ACK
+  // first so ack numbers stay non-decreasing on the wire.
+  std::vector<uint8_t> first = std::move(item.frame);
+  std::vector<std::vector<uint8_t>> extras;
+  extras.reserve(item.extra_acks.size());
+  for (const uint32_t ack : item.extra_acks) {
+    std::vector<uint8_t> copy = first;
+    RewriteAckNumber(copy, kEthernetHeaderSize + kIpv4MinHeaderSize, ack);
+    extras.push_back(std::move(copy));
+  }
+  transmit_(std::move(first));
+  for (auto& frame : extras) {
+    transmit_(std::move(frame));
+  }
+}
+
+void RemoteNode::OnWireFrame(std::vector<uint8_t> frame) {
+  ++frames_received_;
+  PacketPtr packet = pool_.AllocateMoved(std::move(frame));
+  packet->arrival_time = loop_.Now();
+  SkBuffPtr skb = skb_pool_.Wrap(std::move(packet));
+  if (skb == nullptr) {
+    return;
+  }
+  const FlowKey key{skb->view.ip.src, skb->view.ip.dst, skb->view.tcp.src_port,
+                    skb->view.tcp.dst_port};
+  auto it = demux_.find(key);
+  if (it == demux_.end()) {
+    return;
+  }
+  it->second->OnHostPacket(*skb);
+}
+
+}  // namespace tcprx

@@ -1,0 +1,136 @@
+// Full experiment testbed: one receive server (the system under test) with N NICs,
+// N client machines, point-to-point Gigabit links, and the workload drivers used by
+// every benchmark in the paper's evaluation:
+//
+//   * stream workload — the netperf-like receive microbenchmark (sections 2, 5.1-5.3):
+//     one or more connections per NIC, clients blast MTU-sized segments, the server
+//     receives and discards; reports throughput, CPU utilization and the per-category
+//     cycles/packet profile.
+//   * request/response workload — the netperf TCP RR benchmark (section 5.4): 1-byte
+//     ping-pong, reports transactions per second.
+
+#ifndef SRC_SIM_TESTBED_H_
+#define SRC_SIM_TESTBED_H_
+
+#include <array>
+#include <optional>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cpu/cpu_clock.h"
+#include "src/driver/poll_driver.h"
+#include "src/nic/link.h"
+#include "src/nic/nic.h"
+#include "src/sim/remote_node.h"
+#include "src/sim/pcap.h"
+#include "src/sim/trace.h"
+#include "src/stack/network_stack.h"
+#include "src/util/event_loop.h"
+
+namespace tcprx {
+
+struct TestbedConfig {
+  StackConfig stack;
+  size_t num_nics = 5;
+  NicConfig nic;
+  LinkConfig link;  // both directions by default
+  // Override for the client->server (data) direction, e.g. to inject loss on the
+  // path the aggregator sees without corrupting the ACK path.
+  std::optional<LinkConfig> client_to_server_link;
+};
+
+// Per-category profile plus headline metrics for one measurement window.
+struct StreamResult {
+  double throughput_mbps = 0;  // delivered application payload
+  double cpu_utilization = 0;  // fraction of the window the server CPU was busy
+  // Throughput the saturated CPU could sustain if more NICs were added: the paper's
+  // "CPU-scaled" number (throughput / utilization).
+  double cpu_scaled_mbps = 0;
+  std::array<double, kCostCategoryCount> cycles_per_packet{};
+  double total_cycles_per_packet = 0;
+  uint64_t data_packets = 0;
+  uint64_t host_packets = 0;
+  double avg_aggregation = 1.0;  // network data packets per host packet
+  uint64_t acks_on_wire = 0;
+  uint64_t ack_templates = 0;
+  uint64_t nic_drops = 0;
+  uint64_t retransmits = 0;
+};
+
+struct LatencyResult {
+  double transactions_per_sec = 0;
+  uint64_t transactions = 0;
+  // Round-trip latency distribution over the measurement window, in microseconds.
+  double p50_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(const TestbedConfig& config);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  EventLoop& loop() { return loop_; }
+  NetworkStack& stack() { return *stack_; }
+  CpuClock& cpu() { return *cpu_; }
+  PollDriver& driver() { return *driver_; }
+  RemoteNode& remote(size_t i) { return *remotes_[i]; }
+  SimulatedNic& nic(size_t i) { return *nics_[i]; }
+  size_t num_nics() const { return nics_.size(); }
+
+  Ipv4Address server_ip(size_t nic_index) const;
+  Ipv4Address client_ip(size_t nic_index) const;
+  MacAddress server_mac(size_t nic_index) const;
+  MacAddress client_mac(size_t nic_index) const;
+
+  // Convenience: builds a client-side connection config for NIC `i`, client port
+  // `client_port`, server port `server_port`.
+  TcpConnectionConfig ClientConnectionConfig(size_t nic_index, uint16_t client_port,
+                                             uint16_t server_port) const;
+
+  // Attaches a tracer to every link (both directions, labelled per NIC).
+  void AttachTracer(PacketTracer& tracer);
+
+  // Captures every frame on every link into a Wireshark-readable .pcap file.
+  void AttachPcap(PcapWriter& pcap);
+
+  struct StreamOptions {
+    size_t connections_per_nic = 1;
+    SimDuration warmup = SimDuration::FromMillis(300);
+    SimDuration measure = SimDuration::FromMillis(1000);
+    uint16_t server_port = 5001;
+    // Sender MSS: 1448 models a standard 1500-byte MTU with timestamps; 8948 models
+    // a 9000-byte jumbo-frame LAN (the alternative the paper's related-work section
+    // discusses).
+    uint32_t client_mss = 1448;
+  };
+  StreamResult RunStream(const StreamOptions& options);
+
+  struct LatencyOptions {
+    SimDuration warmup = SimDuration::FromMillis(200);
+    SimDuration measure = SimDuration::FromMillis(1000);
+    size_t message_size = 1;
+    uint16_t server_port = 5999;
+  };
+  LatencyResult RunLatency(const LatencyOptions& options);
+
+ private:
+  TestbedConfig config_;
+  EventLoop loop_;
+  std::unique_ptr<NetworkStack> stack_;
+  std::unique_ptr<CpuClock> cpu_;
+  std::unique_ptr<PollDriver> driver_;
+  std::vector<std::unique_ptr<SimulatedNic>> nics_;
+  std::vector<std::unique_ptr<RemoteNode>> remotes_;
+  // Links: [i*2] client->server, [i*2+1] server->client.
+  std::vector<std::unique_ptr<SimplexLink>> links_;
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_SIM_TESTBED_H_

@@ -1,0 +1,101 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+
+#include "src/wire/frame.h"
+
+namespace tcprx {
+
+std::string FormatTcpFrame(std::span<const uint8_t> frame) {
+  auto view = ParseTcpFrame(frame);
+  if (!view.has_value()) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "[non-TCP frame, %zu bytes]", frame.size());
+    return buf;
+  }
+  const TcpHeader& h = view->tcp;
+
+  std::string flags;
+  if (h.Has(kTcpSyn)) {
+    flags += 'S';
+  }
+  if (h.Has(kTcpFin)) {
+    flags += 'F';
+  }
+  if (h.Has(kTcpRst)) {
+    flags += 'R';
+  }
+  if (h.Has(kTcpPsh)) {
+    flags += 'P';
+  }
+  if (h.Has(kTcpUrg)) {
+    flags += 'U';
+  }
+  if (h.Has(kTcpAck)) {
+    flags += '.';
+  }
+  if (flags.empty()) {
+    flags = "none";
+  }
+
+  char buf[256];
+  int n = std::snprintf(buf, sizeof(buf), "%s:%u > %s:%u Flags [%s]",
+                        view->ip.src.ToString().c_str(), h.src_port,
+                        view->ip.dst.ToString().c_str(), h.dst_port, flags.c_str());
+  std::string out(buf, static_cast<size_t>(n));
+
+  if (view->payload_size > 0) {
+    std::snprintf(buf, sizeof(buf), ", seq %u:%u", h.seq,
+                  h.seq + static_cast<uint32_t>(view->payload_size));
+  } else {
+    std::snprintf(buf, sizeof(buf), ", seq %u", h.seq);
+  }
+  out += buf;
+  if (h.Has(kTcpAck)) {
+    std::snprintf(buf, sizeof(buf), ", ack %u", h.ack);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), ", win %u", h.window);
+  out += buf;
+  if (h.timestamp.has_value()) {
+    std::snprintf(buf, sizeof(buf), ", ts %u/%u", h.timestamp->value,
+                  h.timestamp->echo_reply);
+    out += buf;
+  }
+  if (h.has_sack_blocks) {
+    out += ", sack";
+    for (const SackBlock& block : ParseSackBlocks(h.raw_options)) {
+      std::snprintf(buf, sizeof(buf), " %u:%u", block.start, block.end);
+      out += buf;
+    }
+  }
+  if (h.mss.has_value()) {
+    std::snprintf(buf, sizeof(buf), ", mss %u", *h.mss);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), ", len %zu", view->payload_size);
+  out += buf;
+  return out;
+}
+
+void PacketTracer::Record(const std::string& label, std::span<const uint8_t> frame) {
+  ++recorded_;
+  if (lines_.size() >= max_lines_) {
+    return;
+  }
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "%10.6f ", loop_.Now().ToSecondsF());
+  lines_.push_back(ts + label + " " + FormatTcpFrame(frame));
+}
+
+void PacketTracer::Print() const {
+  for (const auto& line : lines_) {
+    std::printf("%s\n", line.c_str());
+  }
+  if (suppressed() > 0) {
+    std::printf("... %llu more frames suppressed\n",
+                static_cast<unsigned long long>(suppressed()));
+  }
+}
+
+}  // namespace tcprx

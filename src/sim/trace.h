@@ -1,0 +1,48 @@
+// tcpdump-style packet tracing.
+//
+// FormatTcpFrame renders one wire frame as a human-readable line; PacketTracer
+// collects timestamped, direction-labelled lines from link taps. Used by the CLI
+// tool's --trace mode and by tests that want to assert on wire-level behaviour
+// without hand-parsing frames.
+
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/event_loop.h"
+
+namespace tcprx {
+
+// "10.0.0.2:10000 > 10.0.0.1:5001 Flags [P.], seq 1000:2448, ack 777, win 65535,
+//  ts 100/50, len 1448" — or a short note for non-TCP frames.
+std::string FormatTcpFrame(std::span<const uint8_t> frame);
+
+class PacketTracer {
+ public:
+  explicit PacketTracer(const EventLoop& loop, size_t max_lines = 100000)
+      : loop_(loop), max_lines_(max_lines) {}
+
+  // Records one frame with a direction label (e.g. "nic0>", "<nic0").
+  void Record(const std::string& label, std::span<const uint8_t> frame);
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  uint64_t recorded() const { return recorded_; }
+  uint64_t suppressed() const { return recorded_ <= lines_.size() ? 0 : recorded_ - lines_.size(); }
+
+  // Dumps all lines to stdout.
+  void Print() const;
+
+ private:
+  const EventLoop& loop_;
+  size_t max_lines_;
+  std::vector<std::string> lines_;
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_SIM_TRACE_H_

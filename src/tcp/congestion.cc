@@ -1,0 +1,71 @@
+#include "src/tcp/congestion.h"
+
+namespace tcprx {
+
+void RenoController::SetCwnd(uint32_t value) {
+  if (value < mss_) {
+    value = mss_;
+  }
+  cwnd_ = value;
+  if (trace_enabled_) {
+    trace_.push_back(cwnd_);
+  }
+}
+
+void RenoController::OnNewAck(uint32_t bytes_acked) {
+  dup_acks_ = 0;
+  if (in_recovery_) {
+    // Handled by OnRecoveryComplete / partial-ack logic in the connection.
+    return;
+  }
+  if (cwnd_ < ssthresh_) {
+    // Slow start: one MSS per ACK (bounded by bytes acked, per RFC 5681 byte counting).
+    const uint32_t inc = bytes_acked < mss_ ? bytes_acked : mss_;
+    SetCwnd(cwnd_ + inc);
+  } else {
+    // Congestion avoidance: ~one MSS per RTT, implemented as mss*mss/cwnd per ACK.
+    uint32_t inc = static_cast<uint32_t>(
+        (static_cast<uint64_t>(mss_) * mss_) / (cwnd_ == 0 ? 1 : cwnd_));
+    if (inc == 0) {
+      inc = 1;
+    }
+    SetCwnd(cwnd_ + inc);
+  }
+}
+
+bool RenoController::OnDupAck() {
+  if (in_recovery_) {
+    // Window inflation during fast recovery.
+    SetCwnd(cwnd_ + mss_);
+    return false;
+  }
+  ++dup_acks_;
+  if (dup_acks_ == 3) {
+    ssthresh_ = cwnd_ / 2;
+    if (ssthresh_ < 2 * mss_) {
+      ssthresh_ = 2 * mss_;
+    }
+    in_recovery_ = true;
+    SetCwnd(ssthresh_ + 3 * mss_);
+    return true;
+  }
+  return false;
+}
+
+void RenoController::OnRecoveryComplete() {
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  SetCwnd(ssthresh_);
+}
+
+void RenoController::OnTimeout() {
+  ssthresh_ = cwnd_ / 2;
+  if (ssthresh_ < 2 * mss_) {
+    ssthresh_ = 2 * mss_;
+  }
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  SetCwnd(mss_);
+}
+
+}  // namespace tcprx

@@ -1,0 +1,60 @@
+// TCP Reno congestion control.
+//
+// The controller is fed one call per *acknowledgment*, which is exactly the
+// granularity the paper's TCP-layer modification preserves: when a receiver processes
+// an aggregated packet whose fragments carry distinct piggybacked ACK numbers, the
+// modified TCP layer replays each fragment's ACK into this controller individually
+// (section 3.4, "Congestion Control"), so the window evolves as if aggregation had
+// never happened. The cwnd trace hook exists so tests can assert that equivalence.
+
+#ifndef SRC_TCP_CONGESTION_H_
+#define SRC_TCP_CONGESTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tcprx {
+
+class RenoController {
+ public:
+  RenoController(uint32_t mss, uint32_t initial_cwnd_segments = 2)
+      : mss_(mss), cwnd_(mss * initial_cwnd_segments), ssthresh_(0x7fffffff) {}
+
+  // A new (window-advancing) ACK arrived covering `bytes_acked` new bytes.
+  void OnNewAck(uint32_t bytes_acked);
+
+  // A duplicate ACK arrived. Returns true when this is the third duplicate and the
+  // caller should fast-retransmit.
+  bool OnDupAck();
+
+  // Called when fast recovery completes (the retransmitted hole is filled).
+  void OnRecoveryComplete();
+
+  // Retransmission timeout: collapse to one segment.
+  void OnTimeout();
+
+  uint32_t cwnd() const { return cwnd_; }
+  uint32_t ssthresh() const { return ssthresh_; }
+  bool in_recovery() const { return in_recovery_; }
+  uint32_t dup_acks() const { return dup_acks_; }
+
+  // When enabled, every cwnd change is appended here; used by the
+  // congestion-window-equivalence property tests.
+  void EnableTrace() { trace_enabled_ = true; }
+  const std::vector<uint32_t>& trace() const { return trace_; }
+
+ private:
+  void SetCwnd(uint32_t value);
+
+  uint32_t mss_;
+  uint32_t cwnd_;
+  uint32_t ssthresh_;
+  uint32_t dup_acks_ = 0;
+  bool in_recovery_ = false;
+  bool trace_enabled_ = false;
+  std::vector<uint32_t> trace_;
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_TCP_CONGESTION_H_

@@ -1,0 +1,112 @@
+#include "src/tcp/reassembly.h"
+
+#include <algorithm>
+
+namespace tcprx {
+
+void ReassemblyQueue::Insert(uint64_t seq, std::vector<uint8_t> data) {
+  if (data.empty()) {
+    return;
+  }
+  last_insert_seq_ = seq;
+  // Trim against the predecessor segment, if it overlaps our head.
+  auto it = segments_.upper_bound(seq);
+  if (it != segments_.begin()) {
+    auto prev = std::prev(it);
+    const uint64_t prev_end = prev->first + prev->second.size();
+    if (seq >= prev->first && seq < prev_end) {
+      const uint64_t skip = prev_end - seq;
+      if (skip >= data.size()) {
+        return;  // fully covered
+      }
+      data.erase(data.begin(), data.begin() + static_cast<long>(skip));
+      seq = prev_end;
+    }
+  }
+  // Trim or absorb successor segments that the new data overlaps.
+  uint64_t end = seq + data.size();
+  it = segments_.lower_bound(seq);
+  while (it != segments_.end() && it->first < end) {
+    const uint64_t seg_end = it->first + it->second.size();
+    if (seg_end <= end) {
+      buffered_bytes_ -= it->second.size();
+      it = segments_.erase(it);
+    } else {
+      data.resize(it->first - seq);
+      end = seq + data.size();
+      break;
+    }
+  }
+  if (!data.empty()) {
+    buffered_bytes_ += data.size();
+    segments_.emplace(seq, std::move(data));
+  }
+}
+
+size_t ReassemblyQueue::PopInOrder(uint64_t next_seq, std::vector<uint8_t>& out) {
+  DropBelow(next_seq);
+  size_t consumed = 0;
+  for (;;) {
+    auto it = segments_.begin();
+    if (it == segments_.end()) {
+      break;
+    }
+    if (it->first > next_seq) {
+      break;  // still a hole
+    }
+    const uint64_t seg_end = it->first + it->second.size();
+    if (seg_end <= next_seq) {
+      buffered_bytes_ -= it->second.size();
+      segments_.erase(it);
+      continue;
+    }
+    const uint64_t skip = next_seq - it->first;
+    out.insert(out.end(), it->second.begin() + static_cast<long>(skip), it->second.end());
+    consumed += it->second.size() - skip;
+    next_seq = seg_end;
+    buffered_bytes_ -= it->second.size();
+    segments_.erase(it);
+  }
+  return consumed;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> ReassemblyQueue::SackRanges(
+    size_t max_blocks) const {
+  // Coalesce adjacent stored segments into contiguous ranges.
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  for (const auto& [seq, data] : segments_) {
+    const uint64_t end = seq + data.size();
+    if (!ranges.empty() && ranges.back().second == seq) {
+      ranges.back().second = end;
+    } else {
+      ranges.emplace_back(seq, end);
+    }
+  }
+  // Move the range containing the most recent insertion to the front.
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    if (last_insert_seq_ >= ranges[i].first && last_insert_seq_ < ranges[i].second) {
+      std::rotate(ranges.begin(), ranges.begin() + static_cast<long>(i),
+                  ranges.begin() + static_cast<long>(i) + 1);
+      break;
+    }
+  }
+  if (ranges.size() > max_blocks) {
+    ranges.resize(max_blocks);
+  }
+  return ranges;
+}
+
+void ReassemblyQueue::DropBelow(uint64_t next_seq) {
+  while (!segments_.empty()) {
+    auto it = segments_.begin();
+    const uint64_t seg_end = it->first + it->second.size();
+    if (seg_end <= next_seq) {
+      buffered_bytes_ -= it->second.size();
+      segments_.erase(it);
+    } else {
+      break;
+    }
+  }
+}
+
+}  // namespace tcprx

@@ -1,0 +1,50 @@
+// Out-of-order segment reassembly queue.
+//
+// Out-of-order packets are one of the cases Receive Aggregation explicitly refuses to
+// touch (section 3.6): they bypass the aggregator and land here, in the ordinary TCP
+// slow path, unchanged.
+//
+// Keys are 64-bit *extended* sequence numbers (wire sequence numbers unwrapped by the
+// connection), so ordering is plain integer comparison and multi-gigabyte transfers
+// never wrap.
+
+#ifndef SRC_TCP_REASSEMBLY_H_
+#define SRC_TCP_REASSEMBLY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace tcprx {
+
+class ReassemblyQueue {
+ public:
+  // Stores payload bytes beginning at extended sequence `seq`. Overlapping data is
+  // merged; already-covered bytes are ignored.
+  void Insert(uint64_t seq, std::vector<uint8_t> data);
+
+  // Pops the contiguous run starting at `next_seq`, appending its bytes to `out` and
+  // returning the number of bytes consumed.
+  size_t PopInOrder(uint64_t next_seq, std::vector<uint8_t>& out);
+
+  // Drops anything wholly below `next_seq` (already delivered via another path).
+  void DropBelow(uint64_t next_seq);
+
+  // Up to `max_blocks` buffered [start, end) ranges for SACK generation: the range
+  // containing the most recent insertion first (RFC 2018), then the rest ascending.
+  std::vector<std::pair<uint64_t, uint64_t>> SackRanges(size_t max_blocks) const;
+
+  bool Empty() const { return segments_.empty(); }
+  size_t SegmentCount() const { return segments_.size(); }
+  size_t BufferedBytes() const { return buffered_bytes_; }
+
+ private:
+  std::map<uint64_t, std::vector<uint8_t>> segments_;
+  size_t buffered_bytes_ = 0;
+  uint64_t last_insert_seq_ = 0;
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_TCP_REASSEMBLY_H_

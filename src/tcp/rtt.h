@@ -1,0 +1,60 @@
+// RTT estimation and retransmission timeout per RFC 6298.
+
+#ifndef SRC_TCP_RTT_H_
+#define SRC_TCP_RTT_H_
+
+#include <cstdint>
+
+#include "src/util/sim_time.h"
+
+namespace tcprx {
+
+class RttEstimator {
+ public:
+  // Feeds one RTT sample (e.g. from a timestamp echo).
+  void AddSample(SimDuration rtt) {
+    const int64_t r = static_cast<int64_t>(rtt.nanos());
+    if (!has_sample_) {
+      srtt_ns_ = r;
+      rttvar_ns_ = r / 2;
+      has_sample_ = true;
+    } else {
+      const int64_t err = r - srtt_ns_;
+      rttvar_ns_ = (3 * rttvar_ns_ + (err < 0 ? -err : err)) / 4;
+      srtt_ns_ = (7 * srtt_ns_ + r) / 8;
+    }
+  }
+
+  // Current retransmission timeout, clamped to [min_rto, max_rto].
+  SimDuration Rto() const {
+    if (!has_sample_) {
+      return kInitialRto;
+    }
+    int64_t rto = srtt_ns_ + 4 * rttvar_ns_;
+    const int64_t min_rto = static_cast<int64_t>(kMinRto.nanos());
+    const int64_t max_rto = static_cast<int64_t>(kMaxRto.nanos());
+    if (rto < min_rto) {
+      rto = min_rto;
+    }
+    if (rto > max_rto) {
+      rto = max_rto;
+    }
+    return SimDuration::FromNanos(static_cast<uint64_t>(rto));
+  }
+
+  bool HasSample() const { return has_sample_; }
+  SimDuration Srtt() const { return SimDuration::FromNanos(static_cast<uint64_t>(srtt_ns_)); }
+
+  static constexpr SimDuration kInitialRto = SimDuration::FromMillis(1000);
+  static constexpr SimDuration kMinRto = SimDuration::FromMillis(200);
+  static constexpr SimDuration kMaxRto = SimDuration::FromSeconds(60);
+
+ private:
+  bool has_sample_ = false;
+  int64_t srtt_ns_ = 0;
+  int64_t rttvar_ns_ = 0;
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_TCP_RTT_H_

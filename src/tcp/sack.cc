@@ -1,0 +1,79 @@
+#include "src/tcp/sack.h"
+
+namespace tcprx {
+
+void SackScoreboard::Add(uint64_t start, uint64_t end) {
+  if (start >= end) {
+    return;
+  }
+  // Merge with any range overlapping or adjacent to [start, end).
+  auto it = ranges_.upper_bound(start);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = end > prev->second ? end : prev->second;
+      ranges_.erase(prev);
+    }
+  }
+  it = ranges_.lower_bound(start);
+  while (it != ranges_.end() && it->first <= end) {
+    end = end > it->second ? end : it->second;
+    it = ranges_.erase(it);
+  }
+  ranges_.emplace(start, end);
+}
+
+void SackScoreboard::ClearBelow(uint64_t una) {
+  auto it = ranges_.begin();
+  while (it != ranges_.end()) {
+    if (it->second <= una) {
+      it = ranges_.erase(it);
+    } else if (it->first < una) {
+      const uint64_t end = it->second;
+      ranges_.erase(it);
+      ranges_.emplace(una, end);
+      break;
+    } else {
+      break;
+    }
+  }
+}
+
+bool SackScoreboard::IsSacked(uint64_t seq) const {
+  auto it = ranges_.upper_bound(seq);
+  if (it == ranges_.begin()) {
+    return false;
+  }
+  --it;
+  return seq >= it->first && seq < it->second;
+}
+
+uint64_t SackScoreboard::NextUnsackedFrom(uint64_t from) const {
+  auto it = ranges_.upper_bound(from);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (from >= prev->first && from < prev->second) {
+      return prev->second;
+    }
+  }
+  return from;
+}
+
+uint64_t SackScoreboard::HoleEnd(uint64_t from, uint64_t limit) const {
+  auto it = ranges_.lower_bound(from);
+  if (it == ranges_.end()) {
+    return limit;
+  }
+  return it->first < limit ? it->first : limit;
+}
+
+uint64_t SackScoreboard::SackedBytes() const {
+  uint64_t total = 0;
+  for (const auto& [start, end] : ranges_) {
+    total += end - start;
+  }
+  return total;
+}
+
+}  // namespace tcprx

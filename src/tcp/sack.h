@@ -1,0 +1,55 @@
+// Sender-side SACK scoreboard (RFC 2018 / RFC 6675, simplified).
+//
+// Tracks which ranges of outstanding data the peer has selectively acknowledged, so
+// retransmission can aim at actual holes rather than blindly resending from snd_una.
+// All sequence numbers here are 64-bit extended (unwrapped by the connection).
+//
+// Relevant to the paper only as a *bypass* case: segments carrying SACK blocks are
+// never aggregated (section 3.6, "TCP packets with selective ACKs are passed
+// unmodified") — and since receivers emit SACK only on pure ACKs, which never
+// aggregate anyway, the two features compose trivially. SACK is off by default in
+// TcpConnectionConfig to mirror the paper's 2.6.16-era receive-path experiments.
+
+#ifndef SRC_TCP_SACK_H_
+#define SRC_TCP_SACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace tcprx {
+
+class SackScoreboard {
+ public:
+  // Records that [start, end) was selectively acknowledged. Overlapping/adjacent
+  // ranges are merged.
+  void Add(uint64_t start, uint64_t end);
+
+  // Drops everything below the new cumulative ack.
+  void ClearBelow(uint64_t una);
+
+  void Clear() { ranges_.clear(); }
+
+  // True when `seq` falls inside a sacked range.
+  bool IsSacked(uint64_t seq) const;
+
+  // The first sequence >= `from` that is NOT covered by a sacked range.
+  uint64_t NextUnsackedFrom(uint64_t from) const;
+
+  // End of the hole starting at `from` (the start of the next sacked range above it),
+  // or `limit` if no sacked range intervenes.
+  uint64_t HoleEnd(uint64_t from, uint64_t limit) const;
+
+  size_t RangeCount() const { return ranges_.size(); }
+  uint64_t SackedBytes() const;
+
+ private:
+  // start -> end, disjoint, sorted.
+  std::map<uint64_t, uint64_t> ranges_;
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_TCP_SACK_H_

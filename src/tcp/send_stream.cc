@@ -1,0 +1,49 @@
+#include "src/tcp/send_stream.h"
+
+#include "src/util/logging.h"
+
+namespace tcprx {
+
+void SendStream::Append(std::span<const uint8_t> data) {
+  TCPRX_CHECK_MSG(!synthetic_, "cannot mix explicit writes with a synthetic source");
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  end_offset_ += data.size();
+}
+
+void SendStream::SetSynthetic(uint64_t total_bytes) {
+  TCPRX_CHECK_MSG(end_offset_ == 0, "SetSynthetic must precede any Append");
+  synthetic_ = true;
+  end_offset_ = total_bytes;
+}
+
+void SendStream::CopyOut(uint64_t offset, std::span<uint8_t> out) const {
+  TCPRX_CHECK_MSG(offset + out.size() <= end_offset_, "read past end of stream");
+  TCPRX_CHECK_MSG(offset >= released_offset_, "read of already-released bytes");
+  if (synthetic_) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = PatternByte(offset + i);
+    }
+    return;
+  }
+  const uint64_t start = offset - buffer_base_;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = buffer_[static_cast<size_t>(start + i)];
+  }
+}
+
+void SendStream::ReleaseThrough(uint64_t offset) {
+  if (offset <= released_offset_) {
+    return;
+  }
+  if (offset > end_offset_) {
+    offset = end_offset_;
+  }
+  if (!synthetic_) {
+    const uint64_t drop = offset - buffer_base_;
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(drop));
+    buffer_base_ = offset;
+  }
+  released_offset_ = offset;
+}
+
+}  // namespace tcprx

@@ -1,0 +1,63 @@
+// Send-side byte stream.
+//
+// Holds unacknowledged application data addressed by absolute 64-bit stream offset
+// (offset 0 = first payload byte after the SYN). Two sources can feed it: explicit
+// application writes (examples, latency tests) and a synthetic deterministic pattern
+// (bulk benchmarks, where materializing gigabytes would be wasteful). The pattern is a
+// pure function of the offset, so a receiver can verify payload integrity at any
+// aggregation setting without the sender storing anything.
+
+#ifndef SRC_TCP_SEND_STREAM_H_
+#define SRC_TCP_SEND_STREAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+
+namespace tcprx {
+
+class SendStream {
+ public:
+  // Appends explicit application bytes. Not allowed after SetSynthetic.
+  void Append(std::span<const uint8_t> data);
+
+  // Switches to a synthetic source that provides `total_bytes` pattern bytes
+  // (UINT64_MAX = effectively infinite). Must be called before any Append.
+  void SetSynthetic(uint64_t total_bytes);
+
+  // Total bytes the application has made available (monotonic).
+  uint64_t EndOffset() const { return end_offset_; }
+
+  // Bytes available at and beyond `offset`.
+  uint64_t AvailableFrom(uint64_t offset) const {
+    return offset >= end_offset_ ? 0 : end_offset_ - offset;
+  }
+
+  // Copies stream bytes [offset, offset+out.size()) into `out`. The range must be
+  // available and not yet released.
+  void CopyOut(uint64_t offset, std::span<uint8_t> out) const;
+
+  // Releases (frees) all bytes below `offset` — they have been cumulatively ACKed.
+  void ReleaseThrough(uint64_t offset);
+
+  uint64_t released_offset() const { return released_offset_; }
+  bool synthetic() const { return synthetic_; }
+
+  // The deterministic pattern byte at a given stream offset.
+  static uint8_t PatternByte(uint64_t offset) {
+    uint64_t x = offset * 0x9e3779b97f4a7c15ull;
+    x ^= x >> 32;
+    return static_cast<uint8_t>(x);
+  }
+
+ private:
+  bool synthetic_ = false;
+  uint64_t end_offset_ = 0;
+  uint64_t released_offset_ = 0;
+  uint64_t buffer_base_ = 0;  // stream offset of buffer_.front()
+  std::deque<uint8_t> buffer_;
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_TCP_SEND_STREAM_H_

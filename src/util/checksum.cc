@@ -1,0 +1,71 @@
+#include "src/util/checksum.h"
+
+namespace tcprx {
+
+void ChecksumAccumulator::Add(std::span<const uint8_t> data) {
+  size_t i = 0;
+  if (odd_ && !data.empty()) {
+    // Previous region ended mid-word: this byte is the low lane of the pending word.
+    sum_ += data[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += static_cast<uint64_t>(static_cast<uint16_t>(data[i]) << 8 | data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum_ += static_cast<uint64_t>(data[i]) << 8;
+    odd_ = true;
+  }
+}
+
+void ChecksumAccumulator::AddWord(uint16_t word) { sum_ += word; }
+
+uint16_t ChecksumAccumulator::FoldedSum() const {
+  uint64_t s = sum_;
+  while (s >> 16) {
+    s = (s & 0xffff) + (s >> 16);
+  }
+  return static_cast<uint16_t>(s);
+}
+
+uint16_t ChecksumAccumulator::Finish() const {
+  return static_cast<uint16_t>(~FoldedSum() & 0xffff);
+}
+
+uint16_t InternetChecksum(std::span<const uint8_t> data) {
+  ChecksumAccumulator acc;
+  acc.Add(data);
+  return acc.Finish();
+}
+
+namespace {
+
+// HC' = ~(~HC + ~m + m') per RFC 1624 eqn. 3, computed in one's complement.
+uint16_t OnesComplementAdd(uint32_t a, uint32_t b) {
+  uint32_t s = a + b;
+  while (s >> 16) {
+    s = (s & 0xffff) + (s >> 16);
+  }
+  return static_cast<uint16_t>(s);
+}
+
+}  // namespace
+
+uint16_t ChecksumUpdateWord(uint16_t old_checksum, uint16_t old_word, uint16_t new_word) {
+  uint16_t sum = OnesComplementAdd(static_cast<uint16_t>(~old_checksum & 0xffff),
+                                   static_cast<uint16_t>(~old_word & 0xffff));
+  sum = OnesComplementAdd(sum, new_word);
+  return static_cast<uint16_t>(~sum & 0xffff);
+}
+
+uint16_t ChecksumUpdateDword(uint16_t old_checksum, uint32_t old_dword, uint32_t new_dword) {
+  uint16_t c = old_checksum;
+  c = ChecksumUpdateWord(c, static_cast<uint16_t>(old_dword >> 16),
+                         static_cast<uint16_t>(new_dword >> 16));
+  c = ChecksumUpdateWord(c, static_cast<uint16_t>(old_dword & 0xffff),
+                         static_cast<uint16_t>(new_dword & 0xffff));
+  return c;
+}
+
+}  // namespace tcprx

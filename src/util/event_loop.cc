@@ -1,0 +1,43 @@
+#include "src/util/event_loop.h"
+
+#include <utility>
+
+namespace tcprx {
+
+void EventLoop::ScheduleAt(SimTime when, Callback cb) {
+  if (when < now_) {
+    when = now_;
+  }
+  queue_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+uint64_t EventLoop::RunUntil(SimTime deadline) {
+  uint64_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    // priority_queue::top returns const&; moving the callback out requires the pop
+    // dance below to stay well-defined.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ev.cb();
+    ++executed;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return executed;
+}
+
+uint64_t EventLoop::RunToCompletion() {
+  uint64_t executed = 0;
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ev.cb();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace tcprx

@@ -1,0 +1,63 @@
+// Discrete-event scheduler.
+//
+// A single-threaded priority queue of timestamped callbacks. Ties are broken by
+// insertion order so runs are fully deterministic. Everything in the testbed — link
+// serialization, NIC interrupts, CPU batch completion, TCP timers — is an event here.
+
+#ifndef SRC_UTIL_EVENT_LOOP_H_
+#define SRC_UTIL_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/sim_time.h"
+
+namespace tcprx {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `cb` at absolute time `when` (clamped to now if in the past).
+  void ScheduleAt(SimTime when, Callback cb);
+
+  // Schedules `cb` `delay` after the current time.
+  void ScheduleAfter(SimDuration delay, Callback cb) { ScheduleAt(now_ + delay, std::move(cb)); }
+
+  // Runs events until the queue is empty or simulated time reaches `deadline`.
+  // Returns the number of events executed.
+  uint64_t RunUntil(SimTime deadline);
+
+  // Runs until the queue is drained completely.
+  uint64_t RunToCompletion();
+
+  bool Empty() const { return queue_.empty(); }
+  size_t PendingEvents() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // FIFO among same-time events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_UTIL_EVENT_LOOP_H_

@@ -1,0 +1,57 @@
+// Minimal leveled logging and hard-invariant checks.
+//
+// The simulator is deterministic, so failed invariants indicate programming errors;
+// TCPRX_CHECK aborts rather than attempting recovery.
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tcprx {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted log line to stderr. Not intended to be called directly; use the
+// TCPRX_LOG macro so file/line and level filtering are uniform.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+}  // namespace tcprx
+
+#define TCPRX_LOG(level, msg)                                                    \
+  do {                                                                           \
+    if (static_cast<int>(level) >= static_cast<int>(::tcprx::GetLogLevel())) {   \
+      std::ostringstream tcprx_log_stream;                                       \
+      tcprx_log_stream << msg;                                                   \
+      ::tcprx::LogMessage(level, __FILE__, __LINE__, tcprx_log_stream.str());    \
+    }                                                                            \
+  } while (0)
+
+#define TCPRX_CHECK(expr)                                                 \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::tcprx::CheckFailed(__FILE__, __LINE__, #expr, "");                \
+    }                                                                     \
+  } while (0)
+
+#define TCPRX_CHECK_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream tcprx_check_stream;                              \
+      tcprx_check_stream << msg;                                          \
+      ::tcprx::CheckFailed(__FILE__, __LINE__, #expr,                     \
+                           tcprx_check_stream.str());                     \
+    }                                                                     \
+  } while (0)
+
+#endif  // SRC_UTIL_LOGGING_H_

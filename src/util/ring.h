@@ -1,0 +1,71 @@
+// Fixed-capacity single-producer/single-consumer ring.
+//
+// Models the lock-free producer-consumer queues the paper relies on: the NIC rx/tx
+// descriptor rings and the per-CPU "aggregation queue" between the driver (producer,
+// interrupt context) and the Receive Aggregation routine (consumer, softirq context),
+// which the paper implements lock-free precisely to avoid adding per-packet
+// synchronization cost (section 3.5).
+
+#ifndef SRC_UTIL_RING_H_
+#define SRC_UTIL_RING_H_
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace tcprx {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity must be at least 1; the ring stores up to `capacity` elements.
+  explicit SpscRing(size_t capacity) : slots_(capacity + 1) {
+    TCPRX_CHECK(capacity >= 1);
+  }
+
+  bool Empty() const { return head_ == tail_; }
+  bool Full() const { return Next(tail_) == head_; }
+  size_t Size() const {
+    return tail_ >= head_ ? tail_ - head_ : slots_.size() - head_ + tail_;
+  }
+  size_t Capacity() const { return slots_.size() - 1; }
+
+  // Enqueues `item`; returns false (dropping nothing, item preserved via move-back
+  // semantics being unused) when the ring is full. This mirrors a NIC dropping a frame
+  // when its descriptor ring overflows.
+  bool Push(T item) {
+    if (Full()) {
+      return false;
+    }
+    slots_[tail_] = std::move(item);
+    tail_ = Next(tail_);
+    return true;
+  }
+
+  // Dequeues the oldest element, or nullopt when empty.
+  std::optional<T> Pop() {
+    if (Empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(slots_[head_]);
+    head_ = Next(head_);
+    return item;
+  }
+
+  // Peeks at the oldest element without consuming it.
+  const T* Front() const { return Empty() ? nullptr : &slots_[head_]; }
+
+ private:
+  size_t Next(size_t i) const { return (i + 1) % slots_.size(); }
+
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t tail_ = 0;
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_UTIL_RING_H_

@@ -1,0 +1,65 @@
+// Whole-frame composition and decomposition (Ethernet + IPv4 + TCP).
+//
+// TcpFrameView is the zero-copy parse used on the hot receive path; BuildTcpFrame is
+// the transmit-side composer used by the TCP layer, the ACK-offload expander, and the
+// traffic generators in tests and benchmarks.
+
+#ifndef SRC_WIRE_FRAME_H_
+#define SRC_WIRE_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/wire/ethernet.h"
+#include "src/wire/ipv4.h"
+#include "src/wire/tcp.h"
+
+namespace tcprx {
+
+// Fully parsed view of a TCP/IPv4 Ethernet frame. Offsets index into the original
+// frame bytes so callers can rewrite fields in place.
+struct TcpFrameView {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  TcpHeader tcp;
+  size_t ip_offset = 0;       // start of the IP header within the frame
+  size_t tcp_offset = 0;      // start of the TCP header within the frame
+  size_t payload_offset = 0;  // start of the TCP payload within the frame
+  size_t payload_size = 0;    // TCP payload bytes (from the IP total length)
+};
+
+// Parses `frame` as an Ethernet/IPv4/TCP packet. Returns nullopt when any layer is
+// malformed, the ethertype is not IPv4, or the protocol is not TCP. Trailing bytes
+// beyond the IP total length (e.g. Ethernet padding) are ignored.
+//
+// With `allow_logical_length` the IP total length may exceed the physical frame: the
+// head frame of an aggregated packet describes the whole fragment chain while holding
+// only its own payload. payload_size then reflects the *logical* (IP-header) length.
+std::optional<TcpFrameView> ParseTcpFrame(std::span<const uint8_t> frame,
+                                          bool allow_logical_length = false);
+
+// Everything needed to compose one TCP/IPv4 frame.
+struct TcpFrameSpec {
+  MacAddress src_mac;
+  MacAddress dst_mac;
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  TcpHeader tcp;  // data_offset_words is derived from raw_options; checksum is computed
+  std::span<const uint8_t> payload;
+  uint16_t ip_id = 0;
+  uint8_t ttl = 64;
+  // When false the TCP checksum field is written as zero, modelling a sender whose NIC
+  // would fill it in; receivers with checksum offload "accept" such frames in the sim.
+  bool fill_tcp_checksum = true;
+};
+
+// Builds the full frame bytes. The TCP data offset is set from the option bytes in
+// `spec.tcp.raw_options` (padded to a 4-byte boundary); IP total length and both
+// checksums are computed.
+std::vector<uint8_t> BuildTcpFrame(const TcpFrameSpec& spec);
+
+}  // namespace tcprx
+
+#endif  // SRC_WIRE_FRAME_H_

@@ -1,0 +1,66 @@
+// IPv4 header parsing, serialization, and checksum handling.
+//
+// Receive Aggregation (section 3.1 of the paper) refuses to aggregate packets with IP
+// options or IP fragmentation, and verifies the IP checksum of every network packet it
+// coalesces; this module supplies those predicates.
+
+#ifndef SRC_WIRE_IPV4_H_
+#define SRC_WIRE_IPV4_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace tcprx {
+
+inline constexpr size_t kIpv4MinHeaderSize = 20;
+inline constexpr uint8_t kIpProtoTcp = 6;
+
+// IPv4 address as a host-order 32-bit value.
+struct Ipv4Address {
+  uint32_t value = 0;
+
+  bool operator==(const Ipv4Address&) const = default;
+  std::string ToString() const;
+
+  static constexpr Ipv4Address FromOctets(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+    return Ipv4Address{(static_cast<uint32_t>(a) << 24) | (static_cast<uint32_t>(b) << 16) |
+                       (static_cast<uint32_t>(c) << 8) | d};
+  }
+};
+
+struct Ipv4Header {
+  uint8_t ihl_words = 5;  // header length in 32-bit words; >5 means IP options present
+  uint8_t tos = 0;
+  uint16_t total_length = 0;  // header + payload, bytes
+  uint16_t identification = 0;
+  bool dont_fragment = true;
+  bool more_fragments = false;
+  uint16_t fragment_offset = 0;  // in 8-byte units
+  uint8_t ttl = 64;
+  uint8_t protocol = kIpProtoTcp;
+  uint16_t checksum = 0;  // as parsed; filled in by SerializeIpv4
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  size_t HeaderSize() const { return static_cast<size_t>(ihl_words) * 4; }
+  bool HasOptions() const { return ihl_words > 5; }
+  bool IsFragmented() const { return more_fragments || fragment_offset != 0; }
+};
+
+// Parses an IPv4 header at the start of `data` (the IP datagram). Returns nullopt for
+// truncated input, wrong version, or an ihl below the minimum. Does NOT verify the
+// checksum; call VerifyIpv4Checksum for that, so the cost can be accounted separately.
+std::optional<Ipv4Header> ParseIpv4(std::span<const uint8_t> data);
+
+// Serializes `header` into `out` (>= HeaderSize() bytes) and writes a freshly computed
+// header checksum. Option bytes beyond the fixed 20 are zero-filled.
+void SerializeIpv4(const Ipv4Header& header, std::span<uint8_t> out);
+
+// Returns true when the checksum over the header bytes folds correctly.
+bool VerifyIpv4Checksum(std::span<const uint8_t> header_bytes);
+
+}  // namespace tcprx
+
+#endif  // SRC_WIRE_IPV4_H_

@@ -1,0 +1,178 @@
+// Tests for packet buffers, the packet pool, and the SkBuff fragment chain.
+
+#include <gtest/gtest.h>
+
+#include "src/buffer/packet.h"
+#include "src/buffer/skbuff.h"
+#include "src/util/byte_order.h"
+#include "src/util/checksum.h"
+#include "tests/test_util.h"
+
+namespace tcprx {
+namespace {
+
+using testutil::FrameOptions;
+using testutil::MakeFrame;
+
+TEST(PacketPool, AllocateCopiesBytes) {
+  PacketPool pool;
+  const std::vector<uint8_t> data = {1, 2, 3, 4};
+  PacketPtr p = pool.Allocate(data);
+  EXPECT_EQ(p->data, data);
+  EXPECT_EQ(pool.stats().allocations, 1u);
+  EXPECT_EQ(pool.stats().live, 1u);
+}
+
+TEST(PacketPool, AllocateMovedTakesOwnership) {
+  PacketPool pool;
+  std::vector<uint8_t> data = {9, 8, 7};
+  const uint8_t* raw = data.data();
+  PacketPtr p = pool.AllocateMoved(std::move(data));
+  EXPECT_EQ(p->data.data(), raw);  // no copy
+}
+
+TEST(PacketPool, RecyclesFreedPackets) {
+  PacketPool pool;
+  Packet* first;
+  {
+    PacketPtr p = pool.AllocateZeroed(64);
+    first = p.get();
+  }
+  EXPECT_EQ(pool.stats().frees, 1u);
+  EXPECT_EQ(pool.stats().live, 0u);
+  PacketPtr q = pool.AllocateZeroed(64);
+  EXPECT_EQ(q.get(), first);  // same object reused
+  EXPECT_EQ(pool.stats().allocations, 2u);
+}
+
+TEST(PacketPool, ResetsReceiveMetadataOnReuse) {
+  PacketPool pool;
+  {
+    PacketPtr p = pool.AllocateZeroed(10);
+    p->nic_checksum_verified = true;
+    p->ingress_nic = 3;
+  }
+  PacketPtr q = pool.AllocateZeroed(10);
+  EXPECT_FALSE(q->nic_checksum_verified);
+  EXPECT_EQ(q->ingress_nic, -1);
+}
+
+TEST(SkBuffPool, WrapParsesTcpFrame) {
+  PacketPool pool;
+  SkBuffPool skbs;
+  FrameOptions options;
+  options.seq = 42;
+  SkBuffPtr skb = skbs.Wrap(pool.AllocateMoved(MakeFrame(options, 64)));
+  ASSERT_NE(skb, nullptr);
+  EXPECT_EQ(skb->view.tcp.seq, 42u);
+  EXPECT_EQ(skb->PayloadSize(), 64u);
+  EXPECT_EQ(skb->SegmentCount(), 1u);
+  EXPECT_EQ(skbs.stats().allocations, 1u);
+}
+
+TEST(SkBuffPool, WrapRejectsGarbage) {
+  PacketPool pool;
+  SkBuffPool skbs;
+  const std::vector<uint8_t> garbage(64, 0xff);
+  EXPECT_EQ(skbs.Wrap(pool.Allocate(garbage)), nullptr);
+}
+
+TEST(SkBuff, CarriesNicChecksumVerdict) {
+  PacketPool pool;
+  SkBuffPool skbs;
+  PacketPtr p = pool.AllocateMoved(MakeFrame(FrameOptions{}, 8));
+  p->nic_checksum_verified = true;
+  SkBuffPtr skb = skbs.Wrap(std::move(p));
+  ASSERT_NE(skb, nullptr);
+  EXPECT_TRUE(skb->csum_verified);
+}
+
+TEST(SkBuff, FragmentChainPayload) {
+  PacketPool pool;
+  SkBuffPool skbs;
+  FrameOptions head_options;
+  head_options.seq = 1;
+  SkBuffPtr skb = skbs.Wrap(pool.AllocateMoved(MakeFrame(head_options, 100)));
+  ASSERT_NE(skb, nullptr);
+
+  // Chain two payload fragments from other frames.
+  for (uint32_t i = 0; i < 2; ++i) {
+    FrameOptions frag_options;
+    frag_options.seq = 101 + i * 50;
+    auto frame = MakeFrame(frag_options, 50);
+    auto view = ParseTcpFrame(frame);
+    ASSERT_TRUE(view.has_value());
+    skb->frags.push_back(SkBuff::Fragment{pool.AllocateMoved(std::move(frame)),
+                                          view->payload_offset, view->payload_size});
+  }
+  EXPECT_EQ(skb->PayloadSize(), 200u);
+
+  std::vector<uint8_t> assembled;
+  skb->ForEachPayload([&](std::span<const uint8_t> span) {
+    assembled.insert(assembled.end(), span.begin(), span.end());
+  });
+  ASSERT_EQ(assembled.size(), 200u);
+  // Head payload bytes then fragment bytes, in order.
+  const auto head_expected = testutil::ExpectedPayload(1, 100);
+  EXPECT_TRUE(std::equal(head_expected.begin(), head_expected.end(), assembled.begin()));
+  const auto frag1_expected = testutil::ExpectedPayload(101, 50);
+  EXPECT_TRUE(std::equal(frag1_expected.begin(), frag1_expected.end(),
+                         assembled.begin() + 100));
+}
+
+TEST(SkBuff, SegmentCountFollowsFragmentInfo) {
+  PacketPool pool;
+  SkBuffPool skbs;
+  SkBuffPtr skb = skbs.Wrap(pool.AllocateMoved(MakeFrame(FrameOptions{}, 10)));
+  ASSERT_NE(skb, nullptr);
+  EXPECT_EQ(skb->SegmentCount(), 1u);
+  skb->fragment_info.push_back(FragmentInfo{1, 1, 100, 10});
+  skb->fragment_info.push_back(FragmentInfo{11, 1, 100, 10});
+  skb->fragment_info.push_back(FragmentInfo{21, 1, 100, 10});
+  EXPECT_EQ(skb->SegmentCount(), 3u);
+}
+
+TEST(SkBuff, ReparseHeadReflectsInPlaceRewrite) {
+  PacketPool pool;
+  SkBuffPool skbs;
+  SkBuffPtr skb = skbs.Wrap(pool.AllocateMoved(MakeFrame(FrameOptions{}, 20)));
+  ASSERT_NE(skb, nullptr);
+  // Rewrite the ack number in place.
+  StoreBe32(skb->head->MutableBytes().data() + skb->view.tcp_offset + 8, 0x11223344);
+  skb->ReparseHead();
+  EXPECT_EQ(skb->view.tcp.ack, 0x11223344u);
+}
+
+TEST(SkBuff, ReparseClampsLogicalPayloadToPhysicalHead) {
+  PacketPool pool;
+  SkBuffPool skbs;
+  SkBuffPtr skb = skbs.Wrap(pool.AllocateMoved(MakeFrame(FrameOptions{}, 100)));
+  ASSERT_NE(skb, nullptr);
+  // Pretend the aggregate spans 300 payload bytes (head has only 100).
+  auto bytes = skb->head->MutableBytes();
+  StoreBe16(bytes.data() + skb->view.ip_offset + 2, 20 + 32 + 300);
+  // Fix the IP checksum so the header still parses cleanly everywhere.
+  StoreBe16(bytes.data() + skb->view.ip_offset + 10, 0);
+  const uint16_t csum =
+      InternetChecksum(bytes.subspan(skb->view.ip_offset, 20));
+  StoreBe16(bytes.data() + skb->view.ip_offset + 10, csum);
+  skb->ReparseHead();
+  EXPECT_EQ(skb->view.payload_size, 100u);  // clamped to head frame
+  EXPECT_EQ(skb->view.ip.total_length, 20 + 32 + 300);
+}
+
+TEST(PacketPoolDeathTest, LeakDetectedAtDestruction) {
+  EXPECT_DEATH(
+      {
+        PacketPtr leaked;
+        {
+          PacketPool pool;
+          leaked = pool.AllocateZeroed(1);
+          // pool destroyed with a live packet
+        }
+      },
+      "leaked");
+}
+
+}  // namespace
+}  // namespace tcprx

@@ -1,0 +1,219 @@
+// Flow-control tests: manual-consume receive buffering, zero-window advertisement
+// with receiver SWS avoidance, out-of-window trimming, the sender persist timer, and
+// end-to-end recovery when a stalled application resumes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/template_ack.h"
+#include "src/tcp/tcp_connection.h"
+#include "src/util/event_loop.h"
+#include "tests/test_util.h"
+
+namespace tcprx {
+namespace {
+
+using testutil::FrameOptions;
+using testutil::MakeFrame;
+
+// Loopback pair where the server uses manual-consume mode with a small buffer.
+struct FlowPair {
+  explicit FlowPair(uint32_t server_buffer) {
+    TcpConnectionConfig client_config;
+    client_config.local_ip = testutil::ClientIp();
+    client_config.remote_ip = testutil::ServerIp();
+    client_config.local_port = 10000;
+    client_config.remote_port = 5001;
+    client_config.local_mac = testutil::ClientMac();
+    client_config.remote_mac = testutil::ServerMac();
+    client_config.initial_seq = 1000;
+
+    TcpConnectionConfig server_config = client_config;
+    server_config.local_ip = testutil::ServerIp();
+    server_config.remote_ip = testutil::ClientIp();
+    server_config.local_port = 5001;
+    server_config.remote_port = 10000;
+    server_config.local_mac = testutil::ServerMac();
+    server_config.remote_mac = testutil::ClientMac();
+    server_config.initial_seq = 77000;
+    server_config.auto_consume = false;
+    server_config.recv_window = server_buffer;
+
+    client = std::make_unique<TcpConnection>(
+        client_config, loop, [this](TcpOutputItem item) { Cross(true, std::move(item)); });
+    server = std::make_unique<TcpConnection>(
+        server_config, loop, [this](TcpOutputItem item) { Cross(false, std::move(item)); });
+  }
+
+  void Establish() {
+    server->Listen();
+    client->Connect();
+    loop.RunUntil(loop.Now() + SimDuration::FromMillis(5));
+    ASSERT_EQ(client->state(), TcpState::kEstablished);
+    ASSERT_EQ(server->state(), TcpState::kEstablished);
+  }
+
+  void Run(uint64_t ms) { loop.RunUntil(loop.Now() + SimDuration::FromMillis(ms)); }
+
+  void Cross(bool from_client, TcpOutputItem item) {
+    std::vector<std::vector<uint8_t>> frames;
+    frames.push_back(std::move(item.frame));
+    for (const uint32_t ack : item.extra_acks) {
+      std::vector<uint8_t> copy = frames.front();
+      RewriteAckNumber(copy, kEthernetHeaderSize + kIpv4MinHeaderSize, ack);
+      frames.push_back(std::move(copy));
+    }
+    for (auto& frame : frames) {
+      last_window[from_client ? 1 : 0] = CurrentWindowOf(frame);
+      if (filter && !filter(from_client, frame)) {
+        continue;
+      }
+      loop.ScheduleAfter(SimDuration::FromMicros(10),
+                         [this, from_client, f = std::move(frame)]() mutable {
+                           PacketPtr p = pool.AllocateMoved(std::move(f));
+                           p->nic_checksum_verified = true;
+                           SkBuffPtr skb = skbs.Wrap(std::move(p));
+                           ASSERT_NE(skb, nullptr);
+                           (from_client ? *server : *client).OnHostPacket(*skb);
+                         });
+    }
+  }
+
+  static uint16_t CurrentWindowOf(const std::vector<uint8_t>& frame) {
+    auto view = ParseTcpFrame(frame);
+    return view.has_value() ? view->tcp.window : 0;
+  }
+
+  EventLoop loop;
+  PacketPool pool;
+  SkBuffPool skbs;
+  std::unique_ptr<TcpConnection> client;
+  std::unique_ptr<TcpConnection> server;
+  std::function<bool(bool, const std::vector<uint8_t>&)> filter;
+  uint16_t last_window[2] = {0, 0};  // [0]=server->client frames, [1]=client->server
+};
+
+TEST(FlowControl, StalledAppClosesWindowAndStopsSender) {
+  FlowPair pair(/*server_buffer=*/8 * 1448);
+  pair.Establish();
+  pair.client->SendSynthetic(100 * 1448);
+  pair.Run(300);
+  // Sender filled the buffer and stopped; the advertised window went to zero.
+  EXPECT_EQ(pair.server->ReceiveBufferedBytes(), 8u * 1448);
+  EXPECT_EQ(pair.last_window[0], 0);  // server's last advertisement
+  const uint64_t in_flight = pair.client->snd_nxt_ext() - pair.client->snd_una_ext();
+  EXPECT_LE(in_flight, 1u);  // at most a window probe outstanding
+}
+
+TEST(FlowControl, ReadReopensWindowAndTransferCompletes) {
+  FlowPair pair(/*server_buffer=*/8 * 1448);
+  pair.Establish();
+  constexpr uint64_t kTotal = 60 * 1448;
+  pair.client->SendSynthetic(kTotal);
+
+  // The application drains 2 KiB every 20 ms.
+  uint64_t consumed = 0;
+  std::function<void()> drain = [&] {
+    std::vector<uint8_t> buf(2048);
+    consumed += pair.server->Read(buf);
+    pair.loop.ScheduleAfter(SimDuration::FromMillis(20), drain);
+  };
+  pair.loop.ScheduleAfter(SimDuration::FromMillis(20), drain);
+
+  pair.Run(3000);
+  EXPECT_EQ(consumed + pair.server->ReceiveBufferedBytes(), kTotal);
+  EXPECT_EQ(pair.server->bytes_received(), kTotal);
+}
+
+TEST(FlowControl, ReadReturnsExactStreamBytes) {
+  FlowPair pair(16 * 1448);
+  pair.Establish();
+  pair.client->SendSynthetic(4 * 1448);
+  pair.Run(50);
+  std::vector<uint8_t> buf(4 * 1448);
+  const size_t n = pair.server->Read(buf);
+  ASSERT_EQ(n, 4u * 1448);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(buf[i], SendStream::PatternByte(i)) << i;
+  }
+  EXPECT_EQ(pair.server->ReceiveBufferedBytes(), 0u);
+}
+
+TEST(FlowControl, SwsAvoidanceNeverAdvertisesDribbles) {
+  FlowPair pair(/*server_buffer=*/4 * 1448);
+  pair.Establish();
+  pair.client->SendSynthetic(50 * 1448);
+
+  // Drain in tiny 100-byte sips: the window must stay 0 (never a sub-MSS dribble)
+  // until a full MSS of space opens.
+  std::vector<uint16_t> advertisements;
+  std::function<void()> sip = [&] {
+    std::vector<uint8_t> buf(100);
+    pair.server->Read(buf);
+    advertisements.push_back(pair.last_window[0]);
+    pair.loop.ScheduleAfter(SimDuration::FromMillis(5), sip);
+  };
+  pair.loop.ScheduleAfter(SimDuration::FromMillis(30), sip);
+  pair.Run(400);
+  for (const uint16_t w : advertisements) {
+    EXPECT_TRUE(w == 0 || w >= 1448) << "SWS violation: advertised " << w;
+  }
+}
+
+TEST(FlowControl, PersistProbeSurvivesLostWindowUpdate) {
+  FlowPair pair(/*server_buffer=*/4 * 1448);
+  pair.Establish();
+  pair.client->SendSynthetic(20 * 1448);
+  pair.Run(200);  // buffer full, window closed
+  ASSERT_EQ(pair.server->ReceiveBufferedBytes(), 4u * 1448);
+
+  // Drop the next pure ACK from the server (the window update), then drain the
+  // buffer. Without the persist timer the connection would deadlock.
+  int acks_to_drop = 1;
+  pair.filter = [&](bool from_client, const std::vector<uint8_t>& frame) {
+    if (!from_client && acks_to_drop > 0) {
+      auto view = ParseTcpFrame(frame);
+      if (view.has_value() && view->payload_size == 0 && view->tcp.flags == kTcpAck) {
+        --acks_to_drop;
+        return false;
+      }
+    }
+    return true;
+  };
+  std::vector<uint8_t> buf(4 * 1448);
+  pair.server->Read(buf);  // reopens the window; the update ACK is dropped
+  ASSERT_EQ(acks_to_drop, 0);
+  pair.filter = nullptr;
+
+  pair.Run(8000);  // persist probes + RTO recovery
+  EXPECT_GE(pair.client->window_probes_sent(), 1u);
+  // Probing discovered the reopened window and the transfer resumed, refilling the
+  // buffer (it then correctly stalls again, since the app never drains a second
+  // time).
+  EXPECT_GT(pair.server->bytes_received(), 4u * 1448 + 2u * 1448);
+  EXPECT_GT(pair.server->ReceiveBufferedBytes(), 0u);
+}
+
+TEST(FlowControl, OutOfWindowDataIsTrimmedNotBuffered) {
+  FlowPair pair(/*server_buffer=*/2 * 1448);
+  pair.Establish();
+  pair.client->SendSynthetic(10 * 1448);
+  pair.Run(100);
+  // Buffer capacity is the hard cap regardless of how much the sender pushed.
+  EXPECT_LE(pair.server->ReceiveBufferedBytes(), 2u * 1448);
+  EXPECT_EQ(pair.server->rcv_nxt_ext() - 1001, pair.server->bytes_received());
+}
+
+TEST(FlowControlDeathTest, ReadRequiresManualMode) {
+  EventLoop loop;
+  TcpConnectionConfig config;
+  config.local_ip = testutil::ServerIp();
+  config.remote_ip = testutil::ClientIp();
+  TcpConnection conn(config, loop, [](TcpOutputItem) {});
+  std::vector<uint8_t> buf(10);
+  EXPECT_DEATH(conn.Read(buf), "auto_consume");
+}
+
+}  // namespace
+}  // namespace tcprx

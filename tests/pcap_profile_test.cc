@@ -1,0 +1,137 @@
+// Tests for the capture/profiling observability layer: pcap file format round-trip
+// and flat-profile routine attribution.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/sim/pcap.h"
+#include "src/sim/testbed.h"
+#include "tests/test_util.h"
+
+namespace tcprx {
+namespace {
+
+using testutil::FrameOptions;
+using testutil::MakeFrame;
+
+uint32_t ReadLe32(const std::vector<uint8_t>& buf, size_t at) {
+  return static_cast<uint32_t>(buf[at]) | (static_cast<uint32_t>(buf[at + 1]) << 8) |
+         (static_cast<uint32_t>(buf[at + 2]) << 16) |
+         (static_cast<uint32_t>(buf[at + 3]) << 24);
+}
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+TEST(Pcap, WritesValidGlobalHeaderAndRecords) {
+  const std::string path = ::testing::TempDir() + "/tcprx_pcap_test.pcap";
+  const auto frame_a = MakeFrame(FrameOptions{}, 100);
+  auto options_b = FrameOptions{};
+  options_b.seq = 777;
+  const auto frame_b = MakeFrame(options_b, 200);
+  {
+    PcapWriter pcap(path);
+    ASSERT_TRUE(pcap.ok());
+    pcap.Record(SimTime::FromMicros(1'500'000), frame_a);  // t = 1.5 s
+    pcap.Record(SimTime::FromMicros(1'500'012), frame_b);
+    EXPECT_EQ(pcap.frames_written(), 2u);
+  }
+
+  const auto buf = ReadAll(path);
+  ASSERT_GE(buf.size(), 24u);
+  EXPECT_EQ(ReadLe32(buf, 0), 0xa1b2c3d4u);  // magic (host order = LE here)
+  EXPECT_EQ(buf[4], 2u);                     // version major
+  EXPECT_EQ(ReadLe32(buf, 20), 1u);          // linktype Ethernet
+
+  // First record header.
+  size_t at = 24;
+  EXPECT_EQ(ReadLe32(buf, at), 1u);       // ts_sec
+  EXPECT_EQ(ReadLe32(buf, at + 4), 500000u);  // ts_usec
+  const uint32_t incl = ReadLe32(buf, at + 8);
+  EXPECT_EQ(incl, frame_a.size());
+  EXPECT_EQ(ReadLe32(buf, at + 12), frame_a.size());
+  // Frame bytes are verbatim.
+  EXPECT_TRUE(std::equal(frame_a.begin(), frame_a.end(), buf.begin() + static_cast<long>(at + 16)));
+
+  // Second record follows immediately.
+  at += 16 + incl;
+  EXPECT_EQ(ReadLe32(buf, at + 8), frame_b.size());
+  const size_t end = at + 16 + frame_b.size();
+  EXPECT_EQ(buf.size(), end);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, TestbedCaptureContainsHandshake) {
+  const std::string path = ::testing::TempDir() + "/tcprx_testbed.pcap";
+  {
+    TestbedConfig config;
+    config.stack.fill_tcp_checksums = false;
+    config.num_nics = 1;
+    Testbed bed(config);
+    PcapWriter pcap(path);
+    ASSERT_TRUE(pcap.ok());
+    bed.AttachPcap(pcap);
+    bed.stack().Listen(5001, [](TcpConnection&) {});
+    TcpConnection* client =
+        bed.remote(0).CreateConnection(bed.ClientConnectionConfig(0, 10000, 5001));
+    client->Connect();
+    bed.loop().RunUntil(SimTime::FromMillis(5));
+    EXPECT_GE(pcap.frames_written(), 3u);  // SYN, SYN-ACK, ACK
+  }
+  const auto buf = ReadAll(path);
+  EXPECT_GT(buf.size(), 24u + 3 * (16 + 54));
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, UnwritablePathReportsNotOk) {
+  PcapWriter pcap("/nonexistent-dir/x.pcap");
+  EXPECT_FALSE(pcap.ok());
+  pcap.Record(SimTime::FromNanos(1), std::vector<uint8_t>(10, 0));  // must not crash
+  EXPECT_EQ(pcap.frames_written(), 0u);
+}
+
+TEST(FlatProfile, RoutinesAttributeCycles) {
+  CycleAccount account;
+  account.Charge(CostCategory::kRx, 100, "tcp_v4_rcv");
+  account.Charge(CostCategory::kRx, 50, "tcp_v4_rcv");
+  account.Charge(CostCategory::kDriver, 10, "e1000_clean_rx_irq");
+  account.Charge(CostCategory::kMisc, 5);  // unattributed
+  ASSERT_EQ(account.routines().size(), 2u);
+  EXPECT_EQ(account.routines().at("tcp_v4_rcv"), 150u);
+  EXPECT_EQ(account.routines().at("e1000_clean_rx_irq"), 10u);
+  EXPECT_EQ(account.Total(), 165u);
+  account.Reset();
+  EXPECT_TRUE(account.routines().empty());
+}
+
+TEST(FlatProfile, StreamRunAttributesMostCyclesToNamedRoutines) {
+  TestbedConfig config;
+  config.stack = StackConfig::Optimized(SystemType::kNativeUp);
+  config.stack.fill_tcp_checksums = false;
+  config.num_nics = 1;
+  Testbed bed(config);
+  Testbed::StreamOptions options;
+  options.warmup = SimDuration::FromMillis(50);
+  options.measure = SimDuration::FromMillis(100);
+  bed.RunStream(options);
+
+  const CycleAccount& account = bed.stack().account();
+  uint64_t attributed = 0;
+  for (const auto& [name, cycles] : account.routines()) {
+    attributed += cycles;
+  }
+  // Lock sites are the only unattributed charges: the named routines must cover the
+  // overwhelming majority of all cycles.
+  EXPECT_GT(static_cast<double>(attributed), 0.95 * static_cast<double>(account.Total()));
+  EXPECT_GT(account.routines().count("aggr_early_demux"), 0u);
+  EXPECT_GT(account.routines().count("copy_to_user"), 0u);
+  EXPECT_GT(account.routines().count("driver_expand_template_ack"), 0u);
+}
+
+}  // namespace
+}  // namespace tcprx

@@ -1,0 +1,192 @@
+// Unit tests for the remaining testbed components: RemoteNode demultiplexing and
+// batch-ACK expansion, Testbed address/topology invariants, and the report helpers.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/remote_node.h"
+#include "src/sim/report.h"
+#include "src/sim/testbed.h"
+#include "tests/test_util.h"
+
+namespace tcprx {
+namespace {
+
+using testutil::FrameOptions;
+using testutil::MakeFrame;
+
+// ---------------------------------------------------------------------------
+// RemoteNode
+// ---------------------------------------------------------------------------
+
+TEST(RemoteNode, TransmitsConnectionOutput) {
+  EventLoop loop;
+  std::vector<std::vector<uint8_t>> wire;
+  RemoteNode node(loop, [&](std::vector<uint8_t> f) { wire.push_back(std::move(f)); });
+
+  TcpConnectionConfig config;
+  config.local_ip = testutil::ClientIp();
+  config.remote_ip = testutil::ServerIp();
+  config.local_port = 10000;
+  config.remote_port = 5001;
+  config.local_mac = testutil::ClientMac();
+  config.remote_mac = testutil::ServerMac();
+  TcpConnection* conn = node.CreateConnection(config);
+  conn->Connect();
+  ASSERT_EQ(wire.size(), 1u);
+  auto syn = ParseTcpFrame(wire[0]);
+  ASSERT_TRUE(syn.has_value());
+  EXPECT_TRUE(syn->tcp.Has(kTcpSyn));
+}
+
+TEST(RemoteNode, DemuxesIncomingToRightConnection) {
+  EventLoop loop;
+  RemoteNode node(loop, [](std::vector<uint8_t>) {});
+
+  TcpConnectionConfig a;
+  a.local_ip = testutil::ClientIp();
+  a.remote_ip = testutil::ServerIp();
+  a.local_port = 10000;
+  a.remote_port = 5001;
+  a.local_mac = testutil::ClientMac();
+  a.remote_mac = testutil::ServerMac();
+  TcpConnectionConfig b = a;
+  b.local_port = 10001;
+  TcpConnection* conn_a = node.CreateConnection(a);
+  TcpConnection* conn_b = node.CreateConnection(b);
+  conn_a->Listen();
+  conn_b->Listen();
+
+  // SYN addressed to port 10001 (server->client direction).
+  TcpFrameSpec spec;
+  spec.src_mac = testutil::ServerMac();
+  spec.dst_mac = testutil::ClientMac();
+  spec.src_ip = testutil::ServerIp();
+  spec.dst_ip = testutil::ClientIp();
+  spec.tcp.src_port = 5001;
+  spec.tcp.dst_port = 10001;
+  spec.tcp.seq = 1;
+  spec.tcp.flags = kTcpSyn;
+  node.OnWireFrame(BuildTcpFrame(spec));
+
+  EXPECT_EQ(conn_a->state(), TcpState::kListen);
+  EXPECT_EQ(conn_b->state(), TcpState::kSynReceived);
+  EXPECT_EQ(node.frames_received(), 1u);
+}
+
+TEST(RemoteNode, IgnoresUnknownFlowsAndGarbage) {
+  EventLoop loop;
+  RemoteNode node(loop, [](std::vector<uint8_t>) {});
+  node.OnWireFrame(std::vector<uint8_t>(60, 0xaa));  // garbage
+  node.OnWireFrame(MakeFrame(FrameOptions{}, 10));   // no matching connection
+  EXPECT_EQ(node.frames_received(), 2u);             // counted, not crashed
+}
+
+// ---------------------------------------------------------------------------
+// Testbed topology
+// ---------------------------------------------------------------------------
+
+TEST(TestbedTopology, AddressesAreDistinctPerNic) {
+  TestbedConfig config;
+  config.stack.fill_tcp_checksums = false;
+  config.num_nics = 5;
+  Testbed bed(config);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i + 1; j < 5; ++j) {
+      EXPECT_FALSE(bed.server_ip(i) == bed.server_ip(j));
+      EXPECT_FALSE(bed.client_ip(i) == bed.client_ip(j));
+      EXPECT_FALSE(bed.server_mac(i) == bed.server_mac(j));
+    }
+    EXPECT_FALSE(bed.server_ip(i) == bed.client_ip(i));
+  }
+}
+
+TEST(TestbedTopology, ClientConfigPointsAtServer) {
+  TestbedConfig config;
+  config.num_nics = 2;
+  Testbed bed(config);
+  const TcpConnectionConfig c = bed.ClientConnectionConfig(1, 12345, 80);
+  EXPECT_EQ(c.local_ip, bed.client_ip(1));
+  EXPECT_EQ(c.remote_ip, bed.server_ip(1));
+  EXPECT_EQ(c.local_port, 12345);
+  EXPECT_EQ(c.remote_port, 80);
+}
+
+TEST(TestbedTopology, IndependentRunsAreDeterministic) {
+  auto run = [] {
+    TestbedConfig config;
+    config.stack = StackConfig::Optimized(SystemType::kNativeUp);
+    config.stack.fill_tcp_checksums = false;
+    config.num_nics = 2;
+    Testbed bed(config);
+    Testbed::StreamOptions options;
+    options.warmup = SimDuration::FromMillis(50);
+    options.measure = SimDuration::FromMillis(100);
+    return bed.RunStream(options);
+  };
+  const StreamResult a = run();
+  const StreamResult b = run();
+  EXPECT_EQ(a.data_packets, b.data_packets);
+  EXPECT_DOUBLE_EQ(a.throughput_mbps, b.throughput_mbps);
+  EXPECT_DOUBLE_EQ(a.total_cycles_per_packet, b.total_cycles_per_packet);
+}
+
+TEST(TestbedTopology, LatencyPercentilesAreOrderedAndPlausible) {
+  TestbedConfig config;
+  config.stack.fill_tcp_checksums = false;
+  config.num_nics = 1;
+  Testbed bed(config);
+  Testbed::LatencyOptions options;
+  options.warmup = SimDuration::FromMillis(100);
+  options.measure = SimDuration::FromMillis(400);
+  const LatencyResult r = bed.RunLatency(options);
+  EXPECT_GT(r.transactions, 100u);
+  EXPECT_GT(r.p50_us, 50.0);   // at least the two-way propagation delay
+  EXPECT_LE(r.p50_us, r.p99_us);
+  EXPECT_LE(r.p99_us, r.max_us);
+  // Rate and median must be consistent (one transaction outstanding).
+  EXPECT_NEAR(r.p50_us, 1e6 / r.transactions_per_sec, 20.0);
+}
+
+// ---------------------------------------------------------------------------
+// Report helpers
+// ---------------------------------------------------------------------------
+
+TEST(Report, CategorySharesSumToHundred) {
+  StreamResult r;
+  for (size_t c = 0; c < kCostCategoryCount; ++c) {
+    r.cycles_per_packet[c] = 100;
+    r.total_cycles_per_packet += 100;
+  }
+  std::vector<CostCategory> all;
+  for (size_t c = 0; c < kCostCategoryCount; ++c) {
+    all.push_back(static_cast<CostCategory>(c));
+  }
+  EXPECT_NEAR(CategoryShare(r, all), 100.0, 1e-9);
+  const CostCategory one[] = {CostCategory::kRx};
+  EXPECT_NEAR(CategoryShare(r, one), 100.0 / kCostCategoryCount, 1e-9);
+}
+
+TEST(Report, ShareOfEmptyResultIsZero) {
+  StreamResult r;
+  const CostCategory one[] = {CostCategory::kRx};
+  EXPECT_EQ(CategoryShare(r, one), 0.0);
+}
+
+TEST(Report, FigureCategoryOrdersCoverDistinctCategories) {
+  const auto native = NativeFigureCategories();
+  const auto xen = XenFigureCategories();
+  EXPECT_EQ(xen.size(), kCostCategoryCount);  // Xen order shows every bucket
+  for (size_t i = 0; i < native.size(); ++i) {
+    for (size_t j = i + 1; j < native.size(); ++j) {
+      EXPECT_NE(native[i], native[j]);
+    }
+  }
+  for (size_t i = 0; i < xen.size(); ++i) {
+    for (size_t j = i + 1; j < xen.size(); ++j) {
+      EXPECT_NE(xen[i], xen[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcprx

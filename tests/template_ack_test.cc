@@ -1,0 +1,152 @@
+// Acknowledgment Offload tests: template construction, driver-side expansion, and
+// the byte-equivalence property of section 4.2 (successive ACKs differ only in the
+// ack number and the checksum, so expansion reproduces them exactly).
+
+#include <gtest/gtest.h>
+
+#include "src/core/template_ack.h"
+#include "src/util/byte_order.h"
+#include "src/wire/frame.h"
+#include "tests/test_util.h"
+
+namespace tcprx {
+namespace {
+
+using testutil::FrameOptions;
+using testutil::MakeFrame;
+
+std::vector<uint8_t> MakeAckFrame(uint32_t ack, bool fill_checksum = true) {
+  FrameOptions options;
+  options.seq = 5000;
+  options.ack = ack;
+  options.fill_checksum = fill_checksum;
+  return MakeFrame(options, 0);
+}
+
+TEST(TemplateAck, BuildCarriesExtraAcks) {
+  PacketPool pool;
+  SkBuffPool skbs;
+  const std::vector<uint32_t> extras = {2000, 3000, 4000};
+  SkBuffPtr tmpl = BuildTemplateAck(skbs, pool, MakeAckFrame(1000), extras);
+  ASSERT_NE(tmpl, nullptr);
+  EXPECT_EQ(tmpl->template_ack_seqs, extras);
+  EXPECT_EQ(tmpl->view.tcp.ack, 1000u);
+}
+
+TEST(TemplateAck, ExpansionCountAndOrder) {
+  PacketPool pool;
+  SkBuffPool skbs;
+  const std::vector<uint32_t> extras = {2000, 3000};
+  SkBuffPtr tmpl = BuildTemplateAck(skbs, pool, MakeAckFrame(1000), extras);
+  const auto frames = ExpandTemplateAck(*tmpl, pool);
+  ASSERT_EQ(frames.size(), 3u);
+  const uint32_t expected[] = {1000, 2000, 3000};
+  for (size_t i = 0; i < frames.size(); ++i) {
+    auto view = ParseTcpFrame(frames[i]->Bytes());
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->tcp.ack, expected[i]);
+  }
+}
+
+TEST(TemplateAck, ExpandedAcksAreByteIdenticalToIndividuallyBuiltOnes) {
+  // The central correctness property of Acknowledgment Offload: the driver-expanded
+  // ACKs must be indistinguishable from ACKs the TCP layer would have built itself.
+  PacketPool pool;
+  SkBuffPool skbs;
+  const std::vector<uint32_t> extras = {7000, 8448, 9896};
+  SkBuffPtr tmpl = BuildTemplateAck(skbs, pool, MakeAckFrame(5552), extras);
+  const auto expanded = ExpandTemplateAck(*tmpl, pool);
+  ASSERT_EQ(expanded.size(), 4u);
+
+  const uint32_t all_acks[] = {5552, 7000, 8448, 9896};
+  for (size_t i = 0; i < expanded.size(); ++i) {
+    const auto individually_built = MakeAckFrame(all_acks[i]);
+    EXPECT_EQ(expanded[i]->data, individually_built) << "ack #" << i;
+  }
+}
+
+TEST(TemplateAck, ExpandedChecksumsVerify) {
+  PacketPool pool;
+  SkBuffPool skbs;
+  const std::vector<uint32_t> extras = {123456, 999999};
+  SkBuffPtr tmpl = BuildTemplateAck(skbs, pool, MakeAckFrame(1), extras);
+  for (const auto& frame : ExpandTemplateAck(*tmpl, pool)) {
+    auto view = ParseTcpFrame(frame->Bytes());
+    ASSERT_TRUE(view.has_value());
+    const size_t seg_len = view->ip.total_length - view->ip.HeaderSize();
+    EXPECT_TRUE(VerifyTcpChecksum(view->ip.src, view->ip.dst,
+                                  frame->Bytes().subspan(view->tcp_offset, seg_len)));
+  }
+}
+
+TEST(TemplateAck, ZeroChecksumStaysZero) {
+  // Tx checksum offload: the driver leaves the field for the NIC.
+  PacketPool pool;
+  SkBuffPool skbs;
+  SkBuffPtr tmpl =
+      BuildTemplateAck(skbs, pool, MakeAckFrame(100, /*fill_checksum=*/false), {{200}});
+  const auto frames = ExpandTemplateAck(*tmpl, pool);
+  ASSERT_EQ(frames.size(), 2u);
+  for (const auto& frame : frames) {
+    auto view = ParseTcpFrame(frame->Bytes());
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->tcp.checksum, 0);
+  }
+}
+
+TEST(TemplateAck, EmptyExtrasExpandsToJustTheTemplate) {
+  PacketPool pool;
+  SkBuffPool skbs;
+  SkBuffPtr tmpl = BuildTemplateAck(skbs, pool, MakeAckFrame(42), {});
+  const auto frames = ExpandTemplateAck(*tmpl, pool);
+  ASSERT_EQ(frames.size(), 1u);
+  auto view = ParseTcpFrame(frames[0]->Bytes());
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->tcp.ack, 42u);
+}
+
+TEST(TemplateAck, RewriteAckNumberPreservesEverythingElse) {
+  auto frame = MakeAckFrame(1111);
+  const auto before = frame;
+  RewriteAckNumber(frame, kEthernetHeaderSize + kIpv4MinHeaderSize, 2222);
+  auto view = ParseTcpFrame(frame);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->tcp.ack, 2222u);
+  // Only the ack field (4 bytes) and checksum (2 bytes) may differ.
+  size_t diffs = 0;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    if (frame[i] != before[i]) {
+      ++diffs;
+    }
+  }
+  EXPECT_LE(diffs, 6u);
+  // And the rewritten checksum still verifies.
+  const size_t seg_len = view->ip.total_length - view->ip.HeaderSize();
+  EXPECT_TRUE(VerifyTcpChecksum(view->ip.src, view->ip.dst,
+                                std::span<const uint8_t>(frame).subspan(view->tcp_offset,
+                                                                        seg_len)));
+}
+
+TEST(TemplateAck, RepeatedRewritesStayValid) {
+  auto frame = MakeAckFrame(1);
+  for (uint32_t ack = 1000; ack < 1000 + 50 * 1448; ack += 1448) {
+    RewriteAckNumber(frame, kEthernetHeaderSize + kIpv4MinHeaderSize, ack);
+    auto view = ParseTcpFrame(frame);
+    ASSERT_TRUE(view.has_value());
+    const size_t seg_len = view->ip.total_length - view->ip.HeaderSize();
+    EXPECT_TRUE(VerifyTcpChecksum(view->ip.src, view->ip.dst,
+                                  std::span<const uint8_t>(frame).subspan(view->tcp_offset,
+                                                                          seg_len)))
+        << "ack " << ack;
+  }
+}
+
+TEST(TemplateAckDeathTest, RejectsNonAckTemplate) {
+  PacketPool pool;
+  SkBuffPool skbs;
+  const auto data_frame = MakeFrame(FrameOptions{}, 100);  // has payload
+  EXPECT_DEATH(BuildTemplateAck(skbs, pool, data_frame, {{1}}), "pure ACK");
+}
+
+}  // namespace
+}  // namespace tcprx

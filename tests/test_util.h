@@ -1,0 +1,90 @@
+// Shared helpers for the unit and property tests: canonical frame builders and a
+// direct-drive harness around NetworkStack that bypasses NICs/links for fully
+// deterministic packet-by-packet tests.
+
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/buffer/packet.h"
+#include "src/wire/frame.h"
+
+namespace tcprx {
+namespace testutil {
+
+inline Ipv4Address ClientIp() { return Ipv4Address::FromOctets(10, 0, 0, 2); }
+inline Ipv4Address ServerIp() { return Ipv4Address::FromOctets(10, 0, 0, 1); }
+inline MacAddress ClientMac() { return MacAddress::FromHostId(2); }
+inline MacAddress ServerMac() { return MacAddress::FromHostId(1); }
+
+struct FrameOptions {
+  uint32_t seq = 1;
+  uint32_t ack = 1;
+  uint8_t flags = kTcpAck;
+  uint16_t window = 65535;
+  uint16_t src_port = 10000;
+  uint16_t dst_port = 5001;
+  bool with_timestamp = true;
+  uint32_t ts_value = 100;
+  uint32_t ts_echo = 50;
+  std::vector<uint8_t> extra_options;  // appended after the timestamp block
+  bool fill_checksum = true;
+  uint16_t ip_id = 1;
+  uint8_t ttl = 64;
+};
+
+// Builds a client->server TCP frame with `payload` bytes of 0xA5-ish pattern data.
+inline std::vector<uint8_t> MakeFrame(const FrameOptions& options, size_t payload_size) {
+  TcpFrameSpec spec;
+  spec.src_mac = ClientMac();
+  spec.dst_mac = ServerMac();
+  spec.src_ip = ClientIp();
+  spec.dst_ip = ServerIp();
+  spec.ip_id = options.ip_id;
+  spec.ttl = options.ttl;
+  spec.fill_tcp_checksum = options.fill_checksum;
+  spec.tcp.src_port = options.src_port;
+  spec.tcp.dst_port = options.dst_port;
+  spec.tcp.seq = options.seq;
+  spec.tcp.ack = options.ack;
+  spec.tcp.flags = options.flags;
+  spec.tcp.window = options.window;
+  if (options.with_timestamp) {
+    uint8_t ts[kTcpTimestampOptionSize];
+    WriteTimestampOption(TcpTimestampOption{options.ts_value, options.ts_echo}, ts);
+    spec.tcp.raw_options.assign(ts, ts + kTcpTimestampOptionSize);
+  }
+  spec.tcp.raw_options.insert(spec.tcp.raw_options.end(), options.extra_options.begin(),
+                              options.extra_options.end());
+  std::vector<uint8_t> payload(payload_size);
+  for (size_t i = 0; i < payload_size; ++i) {
+    payload[i] = static_cast<uint8_t>(options.seq + i);
+  }
+  spec.payload = payload;
+  return BuildTcpFrame(spec);
+}
+
+// Wraps a frame in a pooled Packet with the rx-checksum-offload verdict set.
+inline PacketPtr ToPacket(PacketPool& pool, std::vector<uint8_t> frame,
+                          bool csum_verified = true) {
+  PacketPtr p = pool.AllocateMoved(std::move(frame));
+  p->nic_checksum_verified = csum_verified;
+  return p;
+}
+
+// The payload bytes MakeFrame generated for a given seq/len, for stream checks.
+inline std::vector<uint8_t> ExpectedPayload(uint32_t seq, size_t len) {
+  std::vector<uint8_t> out(len);
+  for (size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<uint8_t>(seq + i);
+  }
+  return out;
+}
+
+}  // namespace testutil
+}  // namespace tcprx
+
+#endif  // TESTS_TEST_UTIL_H_
