@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_prefetch.dir/fig01_prefetch.cc.o"
+  "CMakeFiles/fig01_prefetch.dir/fig01_prefetch.cc.o.d"
+  "fig01_prefetch"
+  "fig01_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig02_systems.cc" "bench/CMakeFiles/fig02_systems.dir/fig02_systems.cc.o" "gcc" "bench/CMakeFiles/fig02_systems.dir/fig02_systems.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tcprx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/tcprx_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/tcprx_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tcprx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tcprx_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/tcprx_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/tcprx_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/xen/CMakeFiles/tcprx_xen.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tcprx_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/tcprx_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tcprx_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tcprx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_systems.dir/fig02_systems.cc.o"
+  "CMakeFiles/fig02_systems.dir/fig02_systems.cc.o.d"
+  "fig02_systems"
+  "fig02_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

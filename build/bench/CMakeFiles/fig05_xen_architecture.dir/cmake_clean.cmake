@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_xen_architecture.dir/fig05_xen_architecture.cc.o"
+  "CMakeFiles/fig05_xen_architecture.dir/fig05_xen_architecture.cc.o.d"
+  "fig05_xen_architecture"
+  "fig05_xen_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_xen_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_throughput.dir/fig07_throughput.cc.o"
+  "CMakeFiles/fig07_throughput.dir/fig07_throughput.cc.o.d"
+  "fig07_throughput"
+  "fig07_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

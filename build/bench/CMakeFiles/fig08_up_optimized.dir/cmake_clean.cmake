@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_up_optimized.dir/fig08_up_optimized.cc.o"
+  "CMakeFiles/fig08_up_optimized.dir/fig08_up_optimized.cc.o.d"
+  "fig08_up_optimized"
+  "fig08_up_optimized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_up_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

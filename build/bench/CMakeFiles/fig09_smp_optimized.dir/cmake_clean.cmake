@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_smp_optimized.dir/fig09_smp_optimized.cc.o"
+  "CMakeFiles/fig09_smp_optimized.dir/fig09_smp_optimized.cc.o.d"
+  "fig09_smp_optimized"
+  "fig09_smp_optimized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_smp_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_xen_optimized.dir/fig10_xen_optimized.cc.o"
+  "CMakeFiles/fig10_xen_optimized.dir/fig10_xen_optimized.cc.o.d"
+  "fig10_xen_optimized"
+  "fig10_xen_optimized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_xen_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_agg_limit.dir/fig11_agg_limit.cc.o"
+  "CMakeFiles/fig11_agg_limit.dir/fig11_agg_limit.cc.o.d"
+  "fig11_agg_limit"
+  "fig11_agg_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_agg_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

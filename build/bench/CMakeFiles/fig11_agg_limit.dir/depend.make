@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_agg_limit.
+# This may be replaced when dependencies are built.

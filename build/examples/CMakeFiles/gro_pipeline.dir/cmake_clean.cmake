@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gro_pipeline.dir/gro_pipeline.cpp.o"
+  "CMakeFiles/gro_pipeline.dir/gro_pipeline.cpp.o.d"
+  "gro_pipeline"
+  "gro_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gro_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iscsi_storage.dir/iscsi_storage.cpp.o"
+  "CMakeFiles/iscsi_storage.dir/iscsi_storage.cpp.o.d"
+  "iscsi_storage"
+  "iscsi_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iscsi_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_echo.dir/latency_echo.cpp.o"
+  "CMakeFiles/latency_echo.dir/latency_echo.cpp.o.d"
+  "latency_echo"
+  "latency_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

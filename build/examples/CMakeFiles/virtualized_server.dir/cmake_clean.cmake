@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtualized_server.dir/virtualized_server.cpp.o"
+  "CMakeFiles/virtualized_server.dir/virtualized_server.cpp.o.d"
+  "virtualized_server"
+  "virtualized_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtualized_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("wire")
+subdirs("buffer")
+subdirs("cpu")
+subdirs("nic")
+subdirs("ip")
+subdirs("tcp")
+subdirs("core")
+subdirs("driver")
+subdirs("xen")
+subdirs("stack")
+subdirs("sim")

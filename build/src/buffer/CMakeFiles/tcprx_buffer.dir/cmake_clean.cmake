@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcprx_buffer.dir/packet.cc.o"
+  "CMakeFiles/tcprx_buffer.dir/packet.cc.o.d"
+  "CMakeFiles/tcprx_buffer.dir/skbuff.cc.o"
+  "CMakeFiles/tcprx_buffer.dir/skbuff.cc.o.d"
+  "libtcprx_buffer.a"
+  "libtcprx_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcprx_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcprx_buffer.a"
+)

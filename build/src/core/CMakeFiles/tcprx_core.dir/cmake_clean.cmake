@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcprx_core.dir/aggregator.cc.o"
+  "CMakeFiles/tcprx_core.dir/aggregator.cc.o.d"
+  "CMakeFiles/tcprx_core.dir/template_ack.cc.o"
+  "CMakeFiles/tcprx_core.dir/template_ack.cc.o.d"
+  "libtcprx_core.a"
+  "libtcprx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcprx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcprx_cpu.dir/cache_model.cc.o"
+  "CMakeFiles/tcprx_cpu.dir/cache_model.cc.o.d"
+  "CMakeFiles/tcprx_cpu.dir/cycle_account.cc.o"
+  "CMakeFiles/tcprx_cpu.dir/cycle_account.cc.o.d"
+  "libtcprx_cpu.a"
+  "libtcprx_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcprx_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcprx_driver.dir/poll_driver.cc.o"
+  "CMakeFiles/tcprx_driver.dir/poll_driver.cc.o.d"
+  "libtcprx_driver.a"
+  "libtcprx_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcprx_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip/ipv4_layer.cc" "src/ip/CMakeFiles/tcprx_ip.dir/ipv4_layer.cc.o" "gcc" "src/ip/CMakeFiles/tcprx_ip.dir/ipv4_layer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tcprx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tcprx_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/tcprx_buffer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

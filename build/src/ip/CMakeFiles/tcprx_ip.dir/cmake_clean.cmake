@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcprx_ip.dir/ipv4_layer.cc.o"
+  "CMakeFiles/tcprx_ip.dir/ipv4_layer.cc.o.d"
+  "libtcprx_ip.a"
+  "libtcprx_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcprx_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcprx_nic.dir/link.cc.o"
+  "CMakeFiles/tcprx_nic.dir/link.cc.o.d"
+  "CMakeFiles/tcprx_nic.dir/nic.cc.o"
+  "CMakeFiles/tcprx_nic.dir/nic.cc.o.d"
+  "libtcprx_nic.a"
+  "libtcprx_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcprx_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/pcap.cc" "src/sim/CMakeFiles/tcprx_sim.dir/pcap.cc.o" "gcc" "src/sim/CMakeFiles/tcprx_sim.dir/pcap.cc.o.d"
+  "/root/repo/src/sim/remote_node.cc" "src/sim/CMakeFiles/tcprx_sim.dir/remote_node.cc.o" "gcc" "src/sim/CMakeFiles/tcprx_sim.dir/remote_node.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/tcprx_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/tcprx_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/testbed.cc" "src/sim/CMakeFiles/tcprx_sim.dir/testbed.cc.o" "gcc" "src/sim/CMakeFiles/tcprx_sim.dir/testbed.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/tcprx_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/tcprx_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tcprx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/tcprx_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/tcprx_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/tcprx_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tcprx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/tcprx_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/tcprx_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/xen/CMakeFiles/tcprx_xen.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/tcprx_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tcprx_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tcprx_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcprx_sim.dir/pcap.cc.o"
+  "CMakeFiles/tcprx_sim.dir/pcap.cc.o.d"
+  "CMakeFiles/tcprx_sim.dir/remote_node.cc.o"
+  "CMakeFiles/tcprx_sim.dir/remote_node.cc.o.d"
+  "CMakeFiles/tcprx_sim.dir/report.cc.o"
+  "CMakeFiles/tcprx_sim.dir/report.cc.o.d"
+  "CMakeFiles/tcprx_sim.dir/testbed.cc.o"
+  "CMakeFiles/tcprx_sim.dir/testbed.cc.o.d"
+  "CMakeFiles/tcprx_sim.dir/trace.cc.o"
+  "CMakeFiles/tcprx_sim.dir/trace.cc.o.d"
+  "libtcprx_sim.a"
+  "libtcprx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcprx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

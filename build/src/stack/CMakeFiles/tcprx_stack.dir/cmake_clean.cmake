@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcprx_stack.dir/network_stack.cc.o"
+  "CMakeFiles/tcprx_stack.dir/network_stack.cc.o.d"
+  "libtcprx_stack.a"
+  "libtcprx_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcprx_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/congestion.cc" "src/tcp/CMakeFiles/tcprx_tcp.dir/congestion.cc.o" "gcc" "src/tcp/CMakeFiles/tcprx_tcp.dir/congestion.cc.o.d"
+  "/root/repo/src/tcp/reassembly.cc" "src/tcp/CMakeFiles/tcprx_tcp.dir/reassembly.cc.o" "gcc" "src/tcp/CMakeFiles/tcprx_tcp.dir/reassembly.cc.o.d"
+  "/root/repo/src/tcp/sack.cc" "src/tcp/CMakeFiles/tcprx_tcp.dir/sack.cc.o" "gcc" "src/tcp/CMakeFiles/tcprx_tcp.dir/sack.cc.o.d"
+  "/root/repo/src/tcp/send_stream.cc" "src/tcp/CMakeFiles/tcprx_tcp.dir/send_stream.cc.o" "gcc" "src/tcp/CMakeFiles/tcprx_tcp.dir/send_stream.cc.o.d"
+  "/root/repo/src/tcp/tcp_connection.cc" "src/tcp/CMakeFiles/tcprx_tcp.dir/tcp_connection.cc.o" "gcc" "src/tcp/CMakeFiles/tcprx_tcp.dir/tcp_connection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tcprx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/tcprx_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/tcprx_buffer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

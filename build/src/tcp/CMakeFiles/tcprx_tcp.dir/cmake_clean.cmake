@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcprx_tcp.dir/congestion.cc.o"
+  "CMakeFiles/tcprx_tcp.dir/congestion.cc.o.d"
+  "CMakeFiles/tcprx_tcp.dir/reassembly.cc.o"
+  "CMakeFiles/tcprx_tcp.dir/reassembly.cc.o.d"
+  "CMakeFiles/tcprx_tcp.dir/sack.cc.o"
+  "CMakeFiles/tcprx_tcp.dir/sack.cc.o.d"
+  "CMakeFiles/tcprx_tcp.dir/send_stream.cc.o"
+  "CMakeFiles/tcprx_tcp.dir/send_stream.cc.o.d"
+  "CMakeFiles/tcprx_tcp.dir/tcp_connection.cc.o"
+  "CMakeFiles/tcprx_tcp.dir/tcp_connection.cc.o.d"
+  "libtcprx_tcp.a"
+  "libtcprx_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcprx_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcprx_util.dir/checksum.cc.o"
+  "CMakeFiles/tcprx_util.dir/checksum.cc.o.d"
+  "CMakeFiles/tcprx_util.dir/event_loop.cc.o"
+  "CMakeFiles/tcprx_util.dir/event_loop.cc.o.d"
+  "CMakeFiles/tcprx_util.dir/logging.cc.o"
+  "CMakeFiles/tcprx_util.dir/logging.cc.o.d"
+  "libtcprx_util.a"
+  "libtcprx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcprx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

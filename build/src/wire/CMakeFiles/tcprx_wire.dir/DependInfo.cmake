@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/ethernet.cc" "src/wire/CMakeFiles/tcprx_wire.dir/ethernet.cc.o" "gcc" "src/wire/CMakeFiles/tcprx_wire.dir/ethernet.cc.o.d"
+  "/root/repo/src/wire/frame.cc" "src/wire/CMakeFiles/tcprx_wire.dir/frame.cc.o" "gcc" "src/wire/CMakeFiles/tcprx_wire.dir/frame.cc.o.d"
+  "/root/repo/src/wire/ipv4.cc" "src/wire/CMakeFiles/tcprx_wire.dir/ipv4.cc.o" "gcc" "src/wire/CMakeFiles/tcprx_wire.dir/ipv4.cc.o.d"
+  "/root/repo/src/wire/tcp.cc" "src/wire/CMakeFiles/tcprx_wire.dir/tcp.cc.o" "gcc" "src/wire/CMakeFiles/tcprx_wire.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tcprx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcprx_wire.dir/ethernet.cc.o"
+  "CMakeFiles/tcprx_wire.dir/ethernet.cc.o.d"
+  "CMakeFiles/tcprx_wire.dir/frame.cc.o"
+  "CMakeFiles/tcprx_wire.dir/frame.cc.o.d"
+  "CMakeFiles/tcprx_wire.dir/ipv4.cc.o"
+  "CMakeFiles/tcprx_wire.dir/ipv4.cc.o.d"
+  "CMakeFiles/tcprx_wire.dir/tcp.cc.o"
+  "CMakeFiles/tcprx_wire.dir/tcp.cc.o.d"
+  "libtcprx_wire.a"
+  "libtcprx_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcprx_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

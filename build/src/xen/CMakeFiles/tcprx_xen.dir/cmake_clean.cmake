@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcprx_xen.dir/xen_path.cc.o"
+  "CMakeFiles/tcprx_xen.dir/xen_path.cc.o.d"
+  "libtcprx_xen.a"
+  "libtcprx_xen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcprx_xen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

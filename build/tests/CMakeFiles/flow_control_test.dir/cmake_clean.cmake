@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_control_test.dir/flow_control_test.cc.o"
+  "CMakeFiles/flow_control_test.dir/flow_control_test.cc.o.d"
+  "flow_control_test"
+  "flow_control_test.pdb"
+  "flow_control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

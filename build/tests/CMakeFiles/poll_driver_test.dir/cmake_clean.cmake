@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poll_driver_test.dir/poll_driver_test.cc.o"
+  "CMakeFiles/poll_driver_test.dir/poll_driver_test.cc.o.d"
+  "poll_driver_test"
+  "poll_driver_test.pdb"
+  "poll_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poll_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

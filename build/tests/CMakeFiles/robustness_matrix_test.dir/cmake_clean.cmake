@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_matrix_test.dir/robustness_matrix_test.cc.o"
+  "CMakeFiles/robustness_matrix_test.dir/robustness_matrix_test.cc.o.d"
+  "robustness_matrix_test"
+  "robustness_matrix_test.pdb"
+  "robustness_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

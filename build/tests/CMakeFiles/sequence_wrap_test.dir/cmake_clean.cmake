@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_wrap_test.dir/sequence_wrap_test.cc.o"
+  "CMakeFiles/sequence_wrap_test.dir/sequence_wrap_test.cc.o.d"
+  "sequence_wrap_test"
+  "sequence_wrap_test.pdb"
+  "sequence_wrap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_wrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_components_test.dir/sim_components_test.cc.o"
+  "CMakeFiles/sim_components_test.dir/sim_components_test.cc.o.d"
+  "sim_components_test"
+  "sim_components_test.pdb"
+  "sim_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

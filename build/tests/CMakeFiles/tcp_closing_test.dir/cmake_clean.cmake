@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_closing_test.dir/tcp_closing_test.cc.o"
+  "CMakeFiles/tcp_closing_test.dir/tcp_closing_test.cc.o.d"
+  "tcp_closing_test"
+  "tcp_closing_test.pdb"
+  "tcp_closing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_closing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

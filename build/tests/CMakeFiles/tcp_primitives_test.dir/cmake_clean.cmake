@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_primitives_test.dir/tcp_primitives_test.cc.o"
+  "CMakeFiles/tcp_primitives_test.dir/tcp_primitives_test.cc.o.d"
+  "tcp_primitives_test"
+  "tcp_primitives_test.pdb"
+  "tcp_primitives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_ack_test.dir/template_ack_test.cc.o"
+  "CMakeFiles/template_ack_test.dir/template_ack_test.cc.o.d"
+  "template_ack_test"
+  "template_ack_test.pdb"
+  "template_ack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_ack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

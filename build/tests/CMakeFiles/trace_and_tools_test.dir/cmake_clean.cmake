@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_and_tools_test.dir/trace_and_tools_test.cc.o"
+  "CMakeFiles/trace_and_tools_test.dir/trace_and_tools_test.cc.o.d"
+  "trace_and_tools_test"
+  "trace_and_tools_test.pdb"
+  "trace_and_tools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_and_tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/checksum_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_primitives_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregator_test[1]_include.cmake")
+include("/root/repo/build/tests/template_ack_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_connection_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/nic_link_test[1]_include.cmake")
+include("/root/repo/build/tests/stack_test[1]_include.cmake")
+include("/root/repo/build/tests/poll_driver_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_and_tools_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_control_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_components_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_closing_test[1]_include.cmake")
+include("/root/repo/build/tests/calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/pcap_profile_test[1]_include.cmake")
+include("/root/repo/build/tests/sequence_wrap_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcprx_sim_tool.dir/tcprx_sim.cc.o"
+  "CMakeFiles/tcprx_sim_tool.dir/tcprx_sim.cc.o.d"
+  "tcprx_sim"
+  "tcprx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcprx_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
