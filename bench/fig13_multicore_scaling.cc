@@ -1,0 +1,89 @@
+// Figure 13 (beyond the paper): aggregate receive throughput vs number of cores.
+//
+// The paper evaluates a serialized receive path (one CPU owns the stack; the SMP
+// column only pays extra locking). This experiment asks the follow-on question: how
+// far does the receive path scale when the host gets N cores, each NIC exposes one
+// RSS queue per core, and every core runs its own poll driver + stack shard
+// (src/smp/)? Links are 10 Gb/s so a single core is CPU-bound and extra cores have
+// headroom to show up as throughput.
+//
+// RSS keeps every flow core-affine, so the only cross-core costs are the shared
+// cache lines of the receive path (DMA pool counters, FIB). The --no-rss ablation
+// row shows what happens without hardware steering: frames land round-robin, the
+// software flow director redirects most of them, and the redirect + backlog cycles
+// eat much of the win.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+tcprx::StreamResult RunCores(tcprx::SystemType system, bool optimized, size_t cores,
+                             bool rss) {
+  using namespace tcprx;
+  TestbedConfig config = MakeBenchConfig(system, optimized);
+  config.link.bits_per_second = 10'000'000'000;  // CPU-bound even at 8 cores
+  config.smp.num_cores = cores;
+  config.smp.rss.enabled = rss;
+  Testbed bed(config);
+  Testbed::StreamOptions options;
+  options.connections_per_nic = 80;  // 400 connections total
+  options.warmup = SimDuration::FromMillis(300);
+  options.measure = SimDuration::FromMillis(500);
+  return bed.RunStream(options);
+}
+
+void PrintRow(const char* label, const tcprx::StreamResult& r, double base_mbps) {
+  std::printf("%-18s %10.0f %8.2fx %7.1f%% %10.1f%% %11llu %12llu\n", label,
+              r.throughput_mbps, r.throughput_mbps / base_mbps,
+              r.cpu_utilization * 100.0, r.load_imbalance * 100.0,
+              static_cast<unsigned long long>(r.intercore_transfers),
+              static_cast<unsigned long long>(r.misdirected_packets));
+}
+
+}  // namespace
+
+int main() {
+  using namespace tcprx;
+  PrintHeader(
+      "Figure 13: Multi-core receive scaling (Linux SMP, 5x 10GbE, 400 connections)");
+
+  const std::vector<size_t> core_counts = {1, 2, 4, 8};
+  std::printf("\n%-18s %10s %9s %8s %11s %11s %12s\n", "config", "Mb/s", "scaling",
+              "cpu", "imbalance", "xfers", "misdirected");
+
+  double base_baseline = 0;
+  double base_optimized = 0;
+  StreamResult opt4;
+  for (const size_t cores : core_counts) {
+    const StreamResult baseline = RunCores(SystemType::kNativeSmp, false, cores, true);
+    if (cores == 1) {
+      base_baseline = baseline.throughput_mbps;
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "baseline %zu-core", cores);
+    PrintRow(label, baseline, base_baseline);
+
+    const StreamResult optimized = RunCores(SystemType::kNativeSmp, true, cores, true);
+    if (cores == 1) {
+      base_optimized = optimized.throughput_mbps;
+    }
+    if (cores == 4) {
+      opt4 = optimized;
+    }
+    std::snprintf(label, sizeof(label), "optimized %zu-core", cores);
+    PrintRow(label, optimized, base_optimized);
+  }
+
+  std::printf("\nablation: software steering instead of RSS (4 cores)\n");
+  const StreamResult no_rss = RunCores(SystemType::kNativeSmp, true, 4, false);
+  PrintRow("optimized no-RSS", no_rss, base_optimized);
+
+  std::printf(
+      "\ntarget: >2.5x aggregate throughput at 4 cores vs 1 core "
+      "(optimized measured %.2fx)\n",
+      opt4.throughput_mbps / base_optimized);
+  return 0;
+}

@@ -1,10 +1,12 @@
 #include "src/driver/poll_driver.h"
 
+#include <memory>
+
 namespace tcprx {
 
-void PollDriver::AttachNic(SimulatedNic* nic) {
-  nics_.push_back(nic);
-  nic->set_on_rx_interrupt([this] { OnInterrupt(); });
+void PollDriver::AttachNicQueue(SimulatedNic* nic, size_t queue) {
+  queues_.push_back({nic, queue});
+  nic->set_on_rx_interrupt(queue, [this] { OnInterrupt(); });
 }
 
 void PollDriver::OnInterrupt() {
@@ -12,8 +14,8 @@ void PollDriver::OnInterrupt() {
     return;
   }
   polling_ = true;
-  for (SimulatedNic* nic : nics_) {
-    nic->SetPollMode(true);
+  for (const NicQueue& q : queues_) {
+    q.nic->SetQueuePollMode(q.queue, true);
   }
   ++stats_.wakeups;
   stack_.ChargeWakeup();
@@ -24,38 +26,85 @@ void PollDriver::OnInterrupt() {
   loop_.ScheduleAt(start, [this] { Poll(); });
 }
 
-SimulatedNic* PollDriver::NextNonEmptyNic() {
-  for (size_t i = 0; i < nics_.size(); ++i) {
-    SimulatedNic* nic = nics_[(rr_next_ + i) % nics_.size()];
-    if (!nic->RxEmpty()) {
-      rr_next_ = (rr_next_ + i + 1) % nics_.size();
-      return nic;
+PollDriver::NicQueue* PollDriver::NextNonEmptyQueue() {
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    NicQueue& q = queues_[(rr_next_ + i) % queues_.size()];
+    if (!q.nic->RxEmpty(q.queue)) {
+      rr_next_ = (rr_next_ + i + 1) % queues_.size();
+      return &q;
     }
   }
   return nullptr;
 }
 
-void PollDriver::Poll() {
-  SimulatedNic* nic = NextNonEmptyNic();
-  if (nic == nullptr) {
-    // The stack is about to go idle: deliver all partial aggregates (work
-    // conservation), account the flush work, and re-enable interrupts.
-    ++stats_.idle_flushes;
-    stack_.BeginDriverBatch();
-    stack_.OnReceiveQueueEmpty();
-    const uint64_t cycles = stack_.TakeBatchCycles();
-    const SimTime done = cycles > 0 ? cpu_.Run(loop_.Now(), cycles) : loop_.Now();
-    stack_.FlushDriverBatch(done);
-    polling_ = false;
-    for (SimulatedNic* n : nics_) {
-      n->SetPollMode(false);
-    }
+void PollDriver::HandOff(PacketPtr frame, SimTime when) {
+  // EventLoop callbacks must be copyable; park the move-only frame in a shared
+  // holder for the hop.
+  auto held = std::make_shared<PacketPtr>(std::move(frame));
+  loop_.ScheduleAt(when, [this, held] { AcceptBacklog(std::move(*held)); });
+}
+
+void PollDriver::AcceptBacklog(PacketPtr frame) {
+  if (frame == nullptr) {
     return;
   }
+  if (backlog_.size() >= kBacklogLimit) {
+    ++stats_.backlog_drops;
+    return;
+  }
+  backlog_.push_back(std::move(frame));
+  if (!polling_) {
+    // The cross-core hand-off wakes the owning core the way an RPS IPI schedules its
+    // receive softirq.
+    OnInterrupt();
+  }
+}
 
-  PacketPtr frame = nic->PopRx();
-  ++stats_.frames_polled;
+void PollDriver::Poll() {
+  // Frames already steered to this core drain ahead of the hardware rings.
+  bool from_backlog = false;
+  PacketPtr frame;
+  if (!backlog_.empty()) {
+    frame = std::move(backlog_.front());
+    backlog_.pop_front();
+    from_backlog = true;
+    ++stats_.backlog_polled;
+  } else {
+    NicQueue* src = NextNonEmptyQueue();
+    if (src == nullptr) {
+      // The stack is about to go idle: deliver all partial aggregates (work
+      // conservation), account the flush work, and re-enable interrupts.
+      ++stats_.idle_flushes;
+      stack_.BeginDriverBatch();
+      stack_.OnReceiveQueueEmpty();
+      const uint64_t cycles = stack_.TakeBatchCycles();
+      const SimTime done = cycles > 0 ? cpu_.Run(loop_.Now(), cycles) : loop_.Now();
+      stack_.FlushDriverBatch(done);
+      polling_ = false;
+      for (const NicQueue& q : queues_) {
+        q.nic->SetQueuePollMode(q.queue, false);
+      }
+      return;
+    }
+    frame = src->nic->PopRx(src->queue);
+    ++stats_.frames_polled;
+  }
+
   stack_.BeginDriverBatch();
+  if (steer_ && !from_backlog) {
+    PollDriver* owner = steer_(*frame, stack_.charger());
+    if (owner != nullptr && owner != this) {
+      // Misdirected flow: this core only pays the steering cost (already charged by
+      // the hook), then hands the frame to the owning core once that work retires.
+      ++stats_.steered_away;
+      const uint64_t cycles = stack_.TakeBatchCycles();
+      const SimTime done = cycles > 0 ? cpu_.Run(loop_.Now(), cycles) : loop_.Now();
+      stack_.FlushDriverBatch(done);
+      owner->HandOff(std::move(frame), done);
+      loop_.ScheduleAt(done, [this] { Poll(); });
+      return;
+    }
+  }
   stack_.ReceiveFrame(std::move(frame));
   const uint64_t cycles = stack_.TakeBatchCycles();
   const SimTime done = cpu_.Run(loop_.Now(), cycles);

@@ -1,17 +1,25 @@
 // NAPI-style poll-mode receive driver.
 //
-// Owns the interrupt/poll discipline for a set of NICs feeding one NetworkStack on
-// one CPU: an interrupt enters poll mode (masking further interrupts), the poll loop
-// drains frames round-robin — one frame per event so CPU busy time advances at frame
-// granularity — and when every ring is empty the driver performs the work-conserving
-// aggregation flush (section 3.5 of the paper: "whenever the aggregation routine runs
-// out of network packets to process, it immediately clears out all partially
-// aggregated packets") and re-enables interrupts.
+// Owns the interrupt/poll discipline for a set of NIC rx queues feeding one
+// NetworkStack on one core: an interrupt enters poll mode (masking further interrupts
+// on the owned queues), the poll loop drains frames round-robin — one frame per event
+// so CPU busy time advances at frame granularity — and when every ring is empty the
+// driver performs the work-conserving aggregation flush (section 3.5 of the paper:
+// "whenever the aggregation routine runs out of network packets to process, it
+// immediately clears out all partially aggregated packets") and re-enables interrupts.
+//
+// In the multi-core receive subsystem (src/smp/) each core owns one PollDriver
+// attached to its RSS queue on every NIC. A steering hook supports the software
+// (RPS-style) path for misdirected flows: a frame whose flow is owned by another core
+// is charged a cross-core enqueue on the polling core, then handed to the owner's
+// backlog, which drains ahead of the hardware rings.
 
 #ifndef SRC_DRIVER_POLL_DRIVER_H_
 #define SRC_DRIVER_POLL_DRIVER_H_
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <vector>
 
 #include "src/cpu/cpu_clock.h"
@@ -26,26 +34,52 @@ class PollDriver {
   PollDriver(EventLoop& loop, NetworkStack& stack, CpuClock& cpu)
       : loop_(loop), stack_(stack), cpu_(cpu) {}
 
-  // Registers a NIC; its rx interrupts now wake this driver.
-  void AttachNic(SimulatedNic* nic);
+  // Registers a NIC rx queue; its interrupts now wake this driver. The single-argument
+  // form attaches queue 0 (the classic single-core wiring).
+  void AttachNic(SimulatedNic* nic) { AttachNicQueue(nic, 0); }
+  void AttachNicQueue(SimulatedNic* nic, size_t queue);
+
+  // Cross-core flow steering. Called for every frame popped from a hardware ring;
+  // returns the driver owning the frame's flow (nullptr or this = process locally)
+  // and charges any steering costs into `charger` (the polling core's account).
+  using SteerFn = std::function<PollDriver*(const Packet& frame, Charger& charger)>;
+  void set_steer(SteerFn fn) { steer_ = std::move(fn); }
+
+  // Hands a frame steered from another core to this driver at time `when` (once the
+  // remote core's enqueue work has completed). Bounded like Linux's per-core backlog;
+  // overflow drops the frame, turning sustained misdirection into TCP loss.
+  void HandOff(PacketPtr frame, SimTime when);
 
   struct Stats {
-    uint64_t wakeups = 0;        // interrupt -> poll-mode transitions
-    uint64_t frames_polled = 0;  // frames pulled off rx rings
-    uint64_t idle_flushes = 0;   // times the rings ran dry and the aggregator flushed
+    uint64_t wakeups = 0;         // interrupt -> poll-mode transitions
+    uint64_t frames_polled = 0;   // frames pulled off hardware rx rings
+    uint64_t idle_flushes = 0;    // times the rings ran dry and the aggregator flushed
+    uint64_t steered_away = 0;    // frames handed to another core's backlog
+    uint64_t backlog_polled = 0;  // frames processed from this core's backlog
+    uint64_t backlog_drops = 0;   // backlog overflow
   };
   const Stats& stats() const { return stats_; }
   bool polling() const { return polling_; }
 
+  static constexpr size_t kBacklogLimit = 1024;  // netdev_max_backlog analogue
+
  private:
+  struct NicQueue {
+    SimulatedNic* nic;
+    size_t queue;
+  };
+
   void OnInterrupt();
   void Poll();
-  SimulatedNic* NextNonEmptyNic();
+  void AcceptBacklog(PacketPtr frame);
+  NicQueue* NextNonEmptyQueue();
 
   EventLoop& loop_;
   NetworkStack& stack_;
   CpuClock& cpu_;
-  std::vector<SimulatedNic*> nics_;
+  std::vector<NicQueue> queues_;
+  std::deque<PacketPtr> backlog_;
+  SteerFn steer_;
   size_t rr_next_ = 0;
   bool polling_ = false;
   Stats stats_;

@@ -6,7 +6,14 @@
 namespace tcprx {
 
 SimulatedNic::SimulatedNic(int id, const NicConfig& config, EventLoop& loop, PacketPool& pool)
-    : id_(id), config_(config), loop_(loop), pool_(pool), rx_ring_(config.rx_ring_entries) {}
+    : id_(id), config_(config), loop_(loop), pool_(pool),
+      rss_(config.rss, config.num_rx_queues == 0 ? 1 : config.num_rx_queues) {
+  const size_t num_queues = config_.num_rx_queues == 0 ? 1 : config_.num_rx_queues;
+  queues_.reserve(num_queues);
+  for (size_t q = 0; q < num_queues; ++q) {
+    queues_.emplace_back(config_.rx_ring_entries);
+  }
+}
 
 void SimulatedNic::DeliverFromWire(std::vector<uint8_t> frame) {
   PacketPtr p = pool_.AllocateMoved(std::move(frame));
@@ -39,33 +46,62 @@ void SimulatedNic::DeliverFromWire(std::vector<uint8_t> frame) {
   link_busy_ = stats_.rx_frames > 1 && (now - last_arrival_) < config_.moderation_gap;
   last_arrival_ = now;
 
-  if (!rx_ring_.Push(std::move(p))) {
+  const size_t queue = SteerQueue(*p);
+  if (!queues_[queue].ring.Push(std::move(p))) {
     ++stats_.rx_dropped;
     return;
   }
-  MaybeRaiseInterrupt();
+  ++queues_[queue].rx_frames;
+  MaybeRaiseInterrupt(queue);
 }
 
-void SimulatedNic::MaybeRaiseInterrupt() {
-  if (poll_mode_ || interrupt_pending_ || !on_rx_interrupt_) {
+size_t SimulatedNic::SteerQueue(const Packet& p) {
+  if (queues_.size() == 1) {
+    return 0;
+  }
+  if (!config_.rss.enabled) {
+    // Per-packet round-robin spray: flows land on arbitrary cores, forcing the
+    // software cross-core handoff path.
+    rr_next_queue_ = (rr_next_queue_ + 1) % queues_.size();
+    return rr_next_queue_;
+  }
+  const auto view = ParseTcpFrame(p.Bytes());
+  if (!view.has_value()) {
+    return 0;  // non-TCP frames funnel to queue 0, as real RSS does
+  }
+  const FlowKey key{view->ip.src, view->ip.dst, view->tcp.src_port, view->tcp.dst_port};
+  return rss_.QueueFor(key);
+}
+
+void SimulatedNic::MaybeRaiseInterrupt(size_t queue) {
+  RxQueue& q = queues_[queue];
+  if (q.poll_mode || q.interrupt_pending || !q.on_interrupt) {
     return;
   }
-  interrupt_pending_ = true;
+  q.interrupt_pending = true;
   const SimDuration delay =
       link_busy_ ? config_.moderation_delay : config_.interrupt_delay;
-  loop_.ScheduleAfter(delay, [this] {
-    interrupt_pending_ = false;
-    if (!poll_mode_ && !rx_ring_.Empty() && on_rx_interrupt_) {
-      on_rx_interrupt_();
+  loop_.ScheduleAfter(delay, [this, queue] {
+    RxQueue& rq = queues_[queue];
+    rq.interrupt_pending = false;
+    if (!rq.poll_mode && !rq.ring.Empty() && rq.on_interrupt) {
+      rq.on_interrupt();
     }
   });
 }
 
 void SimulatedNic::SetPollMode(bool enabled) {
-  poll_mode_ = enabled;
-  if (!enabled && !rx_ring_.Empty()) {
+  for (size_t q = 0; q < queues_.size(); ++q) {
+    SetQueuePollMode(q, enabled);
+  }
+}
+
+void SimulatedNic::SetQueuePollMode(size_t queue, bool enabled) {
+  RxQueue& q = queues_[queue];
+  q.poll_mode = enabled;
+  if (!enabled && !q.ring.Empty()) {
     // Frames raced in while interrupts were masked.
-    MaybeRaiseInterrupt();
+    MaybeRaiseInterrupt(queue);
   }
 }
 

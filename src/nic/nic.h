@@ -1,10 +1,17 @@
 // Simulated network interface card (receive side of the host under test).
 //
-// Models the properties the paper's mechanisms depend on: an rx descriptor ring of
+// Models the properties the paper's mechanisms depend on: rx descriptor rings of
 // finite size (overflow = drop, which is how CPU saturation turns into TCP loss and
 // thus into reduced throughput), rx checksum offload (a hard precondition for Receive
 // Aggregation, section 3.1), and interrupt signalling with NAPI-style poll mode (the
 // host disables further interrupts while it is draining the ring).
+//
+// Multi-queue receive (the src/smp/ subsystem): the NIC can expose N rx queues, each
+// with its own ring, interrupt and poll state. A Toeplitz RSS hash of the 4-tuple
+// steers every frame of a flow to the same queue, so each queue can be owned by one
+// core without locks. With RSS disabled frames are sprayed round-robin — the
+// misdirected-flow baseline. One queue (the default) reproduces the single-core NIC
+// exactly.
 //
 // All NIC work is free of host CPU cycles — it is hardware. The driver module charges
 // the per-frame driver cycles when it touches the ring.
@@ -18,6 +25,7 @@
 
 #include "src/buffer/packet.h"
 #include "src/nic/link.h"
+#include "src/smp/rss.h"
 #include "src/util/event_loop.h"
 #include "src/util/ring.h"
 #include "src/wire/frame.h"
@@ -25,8 +33,13 @@
 namespace tcprx {
 
 struct NicConfig {
-  size_t rx_ring_entries = 256;
+  size_t rx_ring_entries = 256;  // per rx queue
   bool rx_checksum_offload = true;
+  // Number of rx queues (1 = the classic single-ring NIC). The multi-core testbed
+  // sets this to the core count and attaches queue c to core c's driver.
+  size_t num_rx_queues = 1;
+  // Flow steering across queues; only consulted when num_rx_queues > 1.
+  RssConfig rss;
   // Interrupt assertion latency after a frame lands while not in poll mode.
   SimDuration interrupt_delay = SimDuration::FromMicros(4);
   // Adaptive interrupt moderation (e1000 ITR style): when consecutive frames arrive
@@ -43,8 +56,10 @@ class SimulatedNic {
   SimulatedNic(int id, const NicConfig& config, EventLoop& loop, PacketPool& pool);
 
   // ---- Link side -------------------------------------------------------------------
-  // A frame arrived from the wire. Stamps offload metadata, enqueues to the rx ring
-  // (dropping on overflow), and raises an interrupt unless the host is polling.
+  // A frame arrived from the wire. Stamps offload metadata, steers it to an rx queue
+  // (RSS hash of the 4-tuple, or round-robin with RSS off), enqueues to that ring
+  // (dropping on overflow), and raises the queue's interrupt unless it is being
+  // polled.
   void DeliverFromWire(std::vector<uint8_t> frame);
 
   // Transmit path: hand a fully built frame to the attached egress link.
@@ -52,19 +67,27 @@ class SimulatedNic {
   void AttachEgress(SimplexLink* link) { egress_ = link; }
 
   // ---- Host (driver) side ---------------------------------------------------------
-  // The driver's interrupt handler. Invoked through the event loop.
-  void set_on_rx_interrupt(std::function<void()> fn) { on_rx_interrupt_ = std::move(fn); }
+  // Per-queue interrupt handlers; the no-queue overloads address queue 0 and keep the
+  // single-queue NIC API unchanged.
+  void set_on_rx_interrupt(std::function<void()> fn) {
+    set_on_rx_interrupt(0, std::move(fn));
+  }
+  void set_on_rx_interrupt(size_t queue, std::function<void()> fn) {
+    queues_[queue].on_interrupt = std::move(fn);
+  }
 
-  // While in poll mode the NIC never schedules interrupts; the host re-enables them
-  // when it has drained the ring.
-  void SetPollMode(bool enabled);
-  bool poll_mode() const { return poll_mode_; }
+  // While a queue is in poll mode it never schedules interrupts; the owning core
+  // re-enables them when it has drained the ring.
+  void SetPollMode(bool enabled);  // all queues (legacy single-queue callers)
+  void SetQueuePollMode(size_t queue, bool enabled);
+  bool poll_mode(size_t queue = 0) const { return queues_[queue].poll_mode; }
 
-  PacketPtr PopRx() { return rx_ring_.Pop().value_or(nullptr); }
-  bool RxEmpty() const { return rx_ring_.Empty(); }
-  size_t RxQueued() const { return rx_ring_.Size(); }
+  PacketPtr PopRx(size_t queue = 0) { return queues_[queue].ring.Pop().value_or(nullptr); }
+  bool RxEmpty(size_t queue = 0) const { return queues_[queue].ring.Empty(); }
+  size_t RxQueued(size_t queue = 0) const { return queues_[queue].ring.Size(); }
 
   int id() const { return id_; }
+  size_t num_rx_queues() const { return queues_.size(); }
 
   struct Stats {
     uint64_t rx_frames = 0;
@@ -74,19 +97,30 @@ class SimulatedNic {
     uint64_t tx_frames = 0;
   };
   const Stats& stats() const { return stats_; }
+  // Per-queue delivery count, for steering-distribution assertions.
+  uint64_t rx_frames_on_queue(size_t queue) const { return queues_[queue].rx_frames; }
 
  private:
-  void MaybeRaiseInterrupt();
+  struct RxQueue {
+    explicit RxQueue(size_t entries) : ring(entries) {}
+    SpscRing<PacketPtr> ring;
+    std::function<void()> on_interrupt;
+    bool poll_mode = false;
+    bool interrupt_pending = false;
+    uint64_t rx_frames = 0;
+  };
+
+  size_t SteerQueue(const Packet& p);
+  void MaybeRaiseInterrupt(size_t queue);
 
   int id_;
   NicConfig config_;
   EventLoop& loop_;
   PacketPool& pool_;
-  SpscRing<PacketPtr> rx_ring_;
+  std::vector<RxQueue> queues_;
+  RssHasher rss_;
+  size_t rr_next_queue_ = 0;  // round-robin spray when RSS is off
   SimplexLink* egress_ = nullptr;
-  std::function<void()> on_rx_interrupt_;
-  bool poll_mode_ = false;
-  bool interrupt_pending_ = false;
   bool link_busy_ = false;  // recent arrivals closer than moderation_gap
   SimTime last_arrival_;
   Stats stats_;

@@ -59,6 +59,21 @@ void PrintStreamSummary(const std::string& label, const StreamResult& result) {
       static_cast<unsigned long long>(result.retransmits));
 }
 
+void PrintPerCoreSummary(const StreamResult& result) {
+  if (result.per_core_utilization.size() <= 1) {
+    return;
+  }
+  std::printf("%-22s per-core cpu", "");
+  for (const double u : result.per_core_utilization) {
+    std::printf(" %5.1f%%", u * 100.0);
+  }
+  std::printf("  imbalance %5.1f%%  xfers %llu  misdirected %llu  backlog-drops %llu\n",
+              result.load_imbalance * 100.0,
+              static_cast<unsigned long long>(result.intercore_transfers),
+              static_cast<unsigned long long>(result.misdirected_packets),
+              static_cast<unsigned long long>(result.backlog_drops));
+}
+
 void PrintFlatProfile(const CycleAccount& account, double min_percent) {
   std::vector<std::pair<std::string, uint64_t>> rows(account.routines().begin(),
                                                      account.routines().end());

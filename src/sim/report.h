@@ -28,6 +28,10 @@ void PrintBreakdownTable(const std::string& title,
 // Prints the one-line throughput/utilization summary for a result.
 void PrintStreamSummary(const std::string& label, const StreamResult& result);
 
+// Prints per-core utilizations, load imbalance, and inter-core traffic. No-op in
+// single-core mode, so existing figure outputs are unchanged.
+void PrintPerCoreSummary(const StreamResult& result);
+
 // Percentage share of a category group within a result's total.
 double CategoryShare(const StreamResult& result, std::span<const CostCategory> group);
 

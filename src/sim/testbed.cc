@@ -8,17 +8,26 @@
 namespace tcprx {
 
 Testbed::Testbed(const TestbedConfig& config) : config_(config) {
-  cpu_ = std::make_unique<CpuClock>(config_.stack.costs.cpu_hz);
+  const bool multi = config_.smp.num_cores >= 2;
+  auto transmit = [this](int nic_id, std::vector<uint8_t> frame) {
+    nics_[static_cast<size_t>(nic_id)]->Transmit(std::move(frame));
+  };
 
-  stack_ = std::make_unique<NetworkStack>(
-      config_.stack, loop_, [this](int nic_id, std::vector<uint8_t> frame) {
-        nics_[static_cast<size_t>(nic_id)]->Transmit(std::move(frame));
-      });
-  driver_ = std::make_unique<PollDriver>(loop_, *stack_, *cpu_);
+  if (multi) {
+    // One RSS queue per core on every NIC; per-core stack shards behind them.
+    config_.nic.num_rx_queues = config_.smp.num_cores;
+    config_.nic.rss = config_.smp.rss;
+    host_ = std::make_unique<MulticoreHost>(config_.stack, config_.smp, loop_, transmit);
+  } else {
+    cpu_ = std::make_unique<CpuClock>(config_.stack.costs.cpu_hz);
+    stack_ = std::make_unique<NetworkStack>(config_.stack, loop_, transmit);
+    driver_ = std::make_unique<PollDriver>(loop_, *stack_, *cpu_);
+  }
+  PacketPool& dma_pool = multi ? host_->packet_pool() : stack_->packet_pool();
 
   for (size_t i = 0; i < config_.num_nics; ++i) {
     auto nic = std::make_unique<SimulatedNic>(static_cast<int>(i), config_.nic, loop_,
-                                              stack_->packet_pool());
+                                              dma_pool);
     auto remote = std::make_unique<RemoteNode>(
         loop_, [this, i](std::vector<uint8_t> frame) {
           links_[i * 2]->Send(std::move(frame));
@@ -38,9 +47,15 @@ Testbed::Testbed(const TestbedConfig& config) : config_(config) {
         [remote_raw](std::vector<uint8_t> frame) { remote_raw->OnWireFrame(std::move(frame)); }));
     nic->AttachEgress(links_.back().get());
 
-    driver_->AttachNic(nic.get());
-    stack_->AddLocalAddress(server_ip(i), static_cast<int>(i));
-    stack_->AddRoute(client_ip(i), static_cast<int>(i));
+    if (multi) {
+      host_->AttachNic(nic.get());
+      host_->AddLocalAddress(server_ip(i), static_cast<int>(i));
+      host_->AddRoute(client_ip(i), static_cast<int>(i));
+    } else {
+      driver_->AttachNic(nic.get());
+      stack_->AddLocalAddress(server_ip(i), static_cast<int>(i));
+      stack_->AddRoute(client_ip(i), static_cast<int>(i));
+    }
 
     nics_.push_back(std::move(nic));
     remotes_.push_back(std::move(remote));
@@ -48,6 +63,14 @@ Testbed::Testbed(const TestbedConfig& config) : config_(config) {
 }
 
 Testbed::~Testbed() = default;
+
+void Testbed::ForEachConnection(const std::function<void(TcpConnection&)>& fn) {
+  if (multicore()) {
+    host_->ForEachConnection(fn);
+  } else {
+    stack_->ForEachConnection(fn);
+  }
+}
 
 void Testbed::AttachTracer(PacketTracer& tracer) {
   for (size_t i = 0; i < nics_.size(); ++i) {
@@ -102,8 +125,31 @@ TcpConnectionConfig Testbed::ClientConnectionConfig(size_t nic_index, uint16_t c
   return c;
 }
 
+CycleAccount::Counters Testbed::CountersNow() const {
+  return host_ != nullptr ? host_->SumCounters() : stack_->account().counters();
+}
+
+std::array<uint64_t, kCostCategoryCount> Testbed::CategoriesNow() const {
+  if (host_ != nullptr) {
+    return host_->SumCategories();
+  }
+  std::array<uint64_t, kCostCategoryCount> out{};
+  for (size_t c = 0; c < kCostCategoryCount; ++c) {
+    out[c] = stack_->account().Get(static_cast<CostCategory>(c));
+  }
+  return out;
+}
+
+uint64_t Testbed::BusyCyclesNow() const {
+  return host_ != nullptr ? host_->TotalBusyCycles() : cpu_->busy_cycles();
+}
+
 StreamResult Testbed::RunStream(const StreamOptions& options) {
-  stack_->Listen(options.server_port, [](TcpConnection&) {});
+  if (multicore()) {
+    host_->Listen(options.server_port, [](TcpConnection&) {});
+  } else {
+    stack_->Listen(options.server_port, [](TcpConnection&) {});
+  }
 
   // Stagger connection establishment a little so the five links do not run in
   // lockstep.
@@ -122,11 +168,14 @@ StreamResult Testbed::RunStream(const StreamOptions& options) {
     }
   }
 
-  loop_.RunUntil(options.warmup);
+  const SimTime window_start = options.warmup;
+  const SimTime window_end = options.warmup + options.measure;
+  loop_.RunUntil(window_start);
 
   // Snapshot at the start of the measurement window.
-  const CycleAccount before = stack_->account();
-  const uint64_t busy_before = cpu_->busy_cycles();
+  const CycleAccount::Counters before = CountersNow();
+  const std::array<uint64_t, kCostCategoryCount> categories_before = CategoriesNow();
+  const uint64_t busy_before = BusyCyclesNow();
   uint64_t drops_before = 0;
   for (const auto& nic : nics_) {
     drops_before += nic->stats().rx_dropped;
@@ -138,20 +187,21 @@ StreamResult Testbed::RunStream(const StreamOptions& options) {
     }
   }
 
-  loop_.RunUntil(options.warmup + options.measure);
+  loop_.RunUntil(window_end);
 
-  const CycleAccount& after = stack_->account();
+  const CycleAccount::Counters after = CountersNow();
+  const std::array<uint64_t, kCostCategoryCount> categories_after = CategoriesNow();
   const double seconds = options.measure.ToSecondsF();
 
   StreamResult result;
-  const uint64_t bytes =
-      after.counters().payload_bytes - before.counters().payload_bytes;
+  const uint64_t bytes = after.payload_bytes - before.payload_bytes;
   result.throughput_mbps = static_cast<double>(bytes) * 8.0 / seconds / 1e6;
 
-  const uint64_t busy = cpu_->busy_cycles() - busy_before;
+  const uint64_t busy = BusyCyclesNow() - busy_before;
   result.cpu_utilization =
       static_cast<double>(busy) /
-      (static_cast<double>(config_.stack.costs.cpu_hz) * seconds);
+      (static_cast<double>(config_.stack.costs.cpu_hz) * seconds *
+       static_cast<double>(num_cores()));
   if (result.cpu_utilization > 1.0) {
     result.cpu_utilization = 1.0;
   }
@@ -159,22 +209,18 @@ StreamResult Testbed::RunStream(const StreamOptions& options) {
                                ? result.throughput_mbps / result.cpu_utilization
                                : 0;
 
-  result.data_packets =
-      after.counters().net_data_packets - before.counters().net_data_packets;
-  result.host_packets = after.counters().host_packets - before.counters().host_packets;
+  result.data_packets = after.net_data_packets - before.net_data_packets;
+  result.host_packets = after.host_packets - before.host_packets;
   if (result.host_packets > 0) {
     result.avg_aggregation =
         static_cast<double>(result.data_packets) / static_cast<double>(result.host_packets);
   }
-  result.acks_on_wire =
-      after.counters().acks_generated - before.counters().acks_generated;
-  result.ack_templates =
-      after.counters().ack_templates - before.counters().ack_templates;
+  result.acks_on_wire = after.acks_generated - before.acks_generated;
+  result.ack_templates = after.ack_templates - before.ack_templates;
 
   uint64_t total_cycles = 0;
   for (size_t c = 0; c < kCostCategoryCount; ++c) {
-    const auto cat = static_cast<CostCategory>(c);
-    const uint64_t cycles = after.Get(cat) - before.Get(cat);
+    const uint64_t cycles = categories_after[c] - categories_before[c];
     total_cycles += cycles;
     result.cycles_per_packet[c] =
         result.data_packets > 0
@@ -185,6 +231,19 @@ StreamResult Testbed::RunStream(const StreamOptions& options) {
       result.data_packets > 0
           ? static_cast<double>(total_cycles) / static_cast<double>(result.data_packets)
           : 0;
+
+  // Per-core utilization of the exact measurement window (busy regions clipped to
+  // the window; work charged before the window but still executing inside it counts
+  // where it actually ran).
+  if (multicore()) {
+    result.per_core_utilization = host_->topology().Utilizations(window_start, window_end);
+    result.intercore_transfers = host_->intercore().transfers();
+    result.misdirected_packets = host_->misdirected_packets();
+    result.backlog_drops = host_->backlog_drops();
+  } else {
+    result.per_core_utilization = {cpu_->Utilization(window_start, window_end)};
+  }
+  result.load_imbalance = LoadImbalance(result.per_core_utilization);
 
   uint64_t drops_after = 0;
   for (const auto& nic : nics_) {
@@ -203,13 +262,24 @@ StreamResult Testbed::RunStream(const StreamOptions& options) {
 }
 
 LatencyResult Testbed::RunLatency(const LatencyOptions& options) {
-  // Echo server: respond to every delivered byte with an equal-sized reply.
-  stack_->Listen(options.server_port, [this](TcpConnection& conn) {
-    stack_->SetConnectionDataHandler(conn, [&conn](std::span<const uint8_t> data) {
-      std::vector<uint8_t> reply(data.size(), 0x42);
-      conn.Send(reply);
-    });
-  });
+  // Echo server: respond to every delivered byte with an equal-sized reply. Each
+  // shard installs the handler through itself so the charge lands on the owning
+  // core's account.
+  const auto install_echo = [](NetworkStack& shard) {
+    return [&shard](TcpConnection& conn) {
+      shard.SetConnectionDataHandler(conn, [&conn](std::span<const uint8_t> data) {
+        std::vector<uint8_t> reply(data.size(), 0x42);
+        conn.Send(reply);
+      });
+    };
+  };
+  if (multicore()) {
+    for (size_t c = 0; c < host_->num_cores(); ++c) {
+      host_->stack(c).Listen(options.server_port, install_echo(host_->stack(c)));
+    }
+  } else {
+    stack_->Listen(options.server_port, install_echo(*stack_));
+  }
 
   // Client: one transaction outstanding at all times; per-transaction round-trip
   // times are sampled for the latency distribution.

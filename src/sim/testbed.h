@@ -25,6 +25,7 @@
 #include "src/sim/remote_node.h"
 #include "src/sim/pcap.h"
 #include "src/sim/trace.h"
+#include "src/smp/multicore_host.h"
 #include "src/stack/network_stack.h"
 #include "src/util/event_loop.h"
 
@@ -38,12 +39,16 @@ struct TestbedConfig {
   // Override for the client->server (data) direction, e.g. to inject loss on the
   // path the aggregator sees without corrupting the ACK path.
   std::optional<LinkConfig> client_to_server_link;
+  // Multi-core receive host (src/smp/). num_cores = 1 is the paper-faithful
+  // serialized host and reproduces every existing figure exactly; more cores give
+  // each NIC one RSS queue per core and one stack shard + poll driver per core.
+  SmpHostConfig smp;
 };
 
 // Per-category profile plus headline metrics for one measurement window.
 struct StreamResult {
   double throughput_mbps = 0;  // delivered application payload
-  double cpu_utilization = 0;  // fraction of the window the server CPU was busy
+  double cpu_utilization = 0;  // fraction of the window the server CPU(s) were busy
   // Throughput the saturated CPU could sustain if more NICs were added: the paper's
   // "CPU-scaled" number (throughput / utilization).
   double cpu_scaled_mbps = 0;
@@ -56,6 +61,16 @@ struct StreamResult {
   uint64_t ack_templates = 0;
   uint64_t nic_drops = 0;
   uint64_t retransmits = 0;
+  // ---- Multi-core metrics (src/smp/) ----------------------------------------------
+  // Exact per-core utilization of the measurement window (busy regions clipped to
+  // the window edges, never clamped). One entry per core; a single entry in
+  // single-core mode.
+  std::vector<double> per_core_utilization;
+  // max/mean - 1 over per-core utilizations: 0 = perfectly balanced.
+  double load_imbalance = 0;
+  uint64_t intercore_transfers = 0;   // shared-cache-line migrations between cores
+  uint64_t misdirected_packets = 0;   // frames steered in software to another core
+  uint64_t backlog_drops = 0;         // cross-core backlog overflow
 };
 
 struct LatencyResult {
@@ -76,12 +91,24 @@ class Testbed {
   Testbed& operator=(const Testbed&) = delete;
 
   EventLoop& loop() { return loop_; }
-  NetworkStack& stack() { return *stack_; }
-  CpuClock& cpu() { return *cpu_; }
-  PollDriver& driver() { return *driver_; }
+  // Single-core accessors; in multi-core mode they address core 0's shard.
+  NetworkStack& stack() { return multicore() ? host_->stack(0) : *stack_; }
+  CpuClock& cpu() { return multicore() ? host_->cpu(0) : *cpu_; }
+  PollDriver& driver() { return multicore() ? host_->driver(0) : *driver_; }
   RemoteNode& remote(size_t i) { return *remotes_[i]; }
   SimulatedNic& nic(size_t i) { return *nics_[i]; }
   size_t num_nics() const { return nics_.size(); }
+
+  // ---- Multi-core view --------------------------------------------------------------
+  bool multicore() const { return host_ != nullptr; }
+  size_t num_cores() const { return multicore() ? host_->num_cores() : 1; }
+  // Valid only in multi-core mode.
+  MulticoreHost& host() { return *host_; }
+  NetworkStack& stack_shard(size_t core) { return multicore() ? host_->stack(core) : *stack_; }
+  CpuClock& core(size_t c) { return multicore() ? host_->cpu(c) : *cpu_; }
+
+  // Iterates the server's connections across all shards.
+  void ForEachConnection(const std::function<void(TcpConnection&)>& fn);
 
   Ipv4Address server_ip(size_t nic_index) const;
   Ipv4Address client_ip(size_t nic_index) const;
@@ -120,11 +147,19 @@ class Testbed {
   LatencyResult RunLatency(const LatencyOptions& options);
 
  private:
+  // Aggregated accounting snapshots, uniform across single- and multi-core modes.
+  CycleAccount::Counters CountersNow() const;
+  std::array<uint64_t, kCostCategoryCount> CategoriesNow() const;
+  uint64_t BusyCyclesNow() const;
+
   TestbedConfig config_;
   EventLoop loop_;
+  // Single-core host (num_cores == 1): the paper-faithful serialized receive path.
   std::unique_ptr<NetworkStack> stack_;
   std::unique_ptr<CpuClock> cpu_;
   std::unique_ptr<PollDriver> driver_;
+  // Multi-core host (num_cores >= 2): per-core shards behind RSS queues.
+  std::unique_ptr<MulticoreHost> host_;
   std::vector<std::unique_ptr<SimulatedNic>> nics_;
   std::vector<std::unique_ptr<RemoteNode>> remotes_;
   // Links: [i*2] client->server, [i*2+1] server->client.

@@ -1,0 +1,153 @@
+#include "src/smp/multicore_host.h"
+
+#include "src/util/logging.h"
+#include "src/wire/frame.h"
+
+namespace tcprx {
+
+MulticoreHost::MulticoreHost(const StackConfig& stack_config, const SmpHostConfig& config,
+                             EventLoop& loop, NetworkStack::TransmitFn transmit)
+    : config_(config),
+      topology_(config.num_cores, stack_config.costs.cpu_hz),
+      intercore_(config.intercore) {
+  TCPRX_CHECK_MSG(config.num_cores >= 2,
+                  "MulticoreHost requires >= 2 cores; use the single-core testbed path");
+  shards_.reserve(config.num_cores);
+  drivers_.reserve(config.num_cores);
+  for (size_t c = 0; c < config.num_cores; ++c) {
+    shards_.push_back(std::make_unique<NetworkStack>(stack_config, loop, transmit));
+    drivers_.push_back(std::make_unique<PollDriver>(loop, *shards_[c], topology_.core(c)));
+  }
+  for (size_t c = 0; c < config.num_cores; ++c) {
+    drivers_[c]->set_steer([this, c](const Packet& frame, Charger& charger) {
+      return SteerFrame(c, frame, charger);
+    });
+  }
+}
+
+MulticoreHost::~MulticoreHost() {
+  // Shard 0 owns the DMA pool every other shard's in-flight packets came from, so it
+  // must be destroyed last: drivers first (backlogged frames), then shards N-1..1,
+  // then the pool owner.
+  drivers_.clear();
+  while (shards_.size() > 1) {
+    shards_.pop_back();
+  }
+}
+
+void MulticoreHost::AttachNic(SimulatedNic* nic) {
+  TCPRX_CHECK_MSG(nic->num_rx_queues() == num_cores(),
+                  "NIC rx queue count must match the core count");
+  for (size_t c = 0; c < num_cores(); ++c) {
+    drivers_[c]->AttachNicQueue(nic, c);
+  }
+}
+
+void MulticoreHost::AddLocalAddress(Ipv4Address local, int nic_id) {
+  for (auto& shard : shards_) {
+    shard->AddLocalAddress(local, nic_id);
+  }
+}
+
+void MulticoreHost::AddRoute(Ipv4Address dst, int nic_id) {
+  for (auto& shard : shards_) {
+    shard->AddRoute(dst, nic_id);
+  }
+}
+
+void MulticoreHost::Listen(uint16_t port, NetworkStack::AcceptFn on_accept) {
+  for (auto& shard : shards_) {
+    shard->Listen(port, on_accept);
+  }
+}
+
+void MulticoreHost::ForEachConnection(const std::function<void(TcpConnection&)>& fn) const {
+  for (const auto& shard : shards_) {
+    shard->ForEachConnection(fn);
+  }
+}
+
+void MulticoreHost::ChargeSharedLine(Charger& charger, size_t core,
+                                     InterCoreModel::SharedLine line, CostCategory category,
+                                     const char* routine) {
+  uint64_t cycles = intercore_.TouchCycles(core, line);
+  if (cycles == 0) {
+    return;
+  }
+  // The line's spinlock moved with it: the acquisition is contended, not just
+  // lock-prefixed (the base SMP lock model already charged the uncontended RMW).
+  cycles += intercore_.costs().lock_contention_cycles;
+  charger.Charge(category, cycles, routine);
+}
+
+PollDriver* MulticoreHost::SteerFrame(size_t core, const Packet& frame, Charger& charger) {
+  // Shared state every received frame eventually touches, wherever it is processed:
+  // the DMA pool's counters (refill on the rx side) and the routing/neighbour tables
+  // (the ACK transmit path). Flow-affine traffic still pays transfers here whenever
+  // frames of different cores interleave — the irreducible multi-core friction.
+  ChargeSharedLine(charger, core, InterCoreModel::SharedLine::kPoolCounters,
+                   CostCategory::kBuffer, "pool_counters");
+  ChargeSharedLine(charger, core, InterCoreModel::SharedLine::kRoutingTable,
+                   CostCategory::kNonProto, "fib_table");
+
+  if (config_.rss.enabled) {
+    // Hardware steering already put the frame on its flow's core; no software lookup.
+    return nullptr;
+  }
+
+  // Software steering (RPS): consult the shared flow director.
+  const auto view = ParseTcpFrame(frame.Bytes());
+  if (!view.has_value()) {
+    return nullptr;
+  }
+  ChargeSharedLine(charger, core, InterCoreModel::SharedLine::kFlowDirector,
+                   CostCategory::kDriver, "rps_flow_table");
+  if (view->tcp.Has(kTcpSyn)) {
+    ChargeSharedLine(charger, core, InterCoreModel::SharedLine::kListenerTable,
+                     CostCategory::kNonProto, "listener_table");
+  }
+  const FlowKey key{view->ip.src, view->ip.dst, view->tcp.src_port, view->tcp.dst_port};
+  const size_t owner = director_.OwnerFor(key, core);
+  if (owner == core) {
+    return nullptr;
+  }
+  ++misdirected_;
+  charger.Charge(CostCategory::kDriver, intercore_.costs().cross_core_enqueue_cycles,
+                 "rps_enqueue");
+  return drivers_[owner].get();
+}
+
+CycleAccount::Counters MulticoreHost::SumCounters() const {
+  CycleAccount::Counters sum;
+  for (const auto& shard : shards_) {
+    const CycleAccount::Counters& c = shard->account().counters();
+    sum.net_data_packets += c.net_data_packets;
+    sum.host_packets += c.host_packets;
+    sum.acks_generated += c.acks_generated;
+    sum.ack_templates += c.ack_templates;
+    sum.aggregated_segments += c.aggregated_segments;
+    sum.payload_bytes += c.payload_bytes;
+    sum.drops += c.drops;
+  }
+  return sum;
+}
+
+std::array<uint64_t, kCostCategoryCount> MulticoreHost::SumCategories() const {
+  std::array<uint64_t, kCostCategoryCount> sum{};
+  for (const auto& shard : shards_) {
+    for (size_t c = 0; c < kCostCategoryCount; ++c) {
+      sum[c] += shard->account().Get(static_cast<CostCategory>(c));
+    }
+  }
+  return sum;
+}
+
+uint64_t MulticoreHost::backlog_drops() const {
+  uint64_t drops = 0;
+  for (const auto& driver : drivers_) {
+    drops += driver->stats().backlog_drops;
+  }
+  return drops;
+}
+
+}  // namespace tcprx

@@ -181,6 +181,49 @@ TEST(CpuClock, UtilizationFractionOfWindow) {
   EXPECT_NEAR(util, 0.5, 1e-9);
 }
 
+TEST(CpuClock, UtilizationCountsOnlyWorkInsideTheWindow) {
+  // Regression: the old implementation divided lifetime busy cycles by the window
+  // length and silently clamped to 1.0, so work executed before the window start
+  // inflated the reported utilization.
+  CpuClock cpu(1'000'000'000);
+  cpu.Run(SimTime::FromNanos(0), 1000);  // busy [0, 1000) — entirely before the window
+  cpu.Run(SimTime::FromNanos(2000), 300);  // busy [2000, 2300) — inside the window
+  const double util =
+      cpu.Utilization(SimTime::FromNanos(1000), SimTime::FromNanos(3000));
+  EXPECT_NEAR(util, 0.15, 1e-9);
+}
+
+TEST(CpuClock, UtilizationClipsWorkSpanningTheWindowEdge) {
+  CpuClock cpu(1'000'000'000);
+  // Busy [500, 1500): half before the window start, half inside.
+  cpu.Run(SimTime::FromNanos(500), 1000);
+  EXPECT_NEAR(cpu.Utilization(SimTime::FromNanos(1000), SimTime::FromNanos(2000)), 0.5,
+              1e-9);
+  // A window that ends mid-region clips at the end too.
+  EXPECT_NEAR(cpu.Utilization(SimTime::FromNanos(0), SimTime::FromNanos(1000)), 0.5,
+              1e-9);
+  // A window fully inside the busy region is 100% — and never above it.
+  EXPECT_NEAR(cpu.Utilization(SimTime::FromNanos(600), SimTime::FromNanos(1400)), 1.0,
+              1e-9);
+}
+
+TEST(CpuClock, UtilizationMergesQueuedWork) {
+  CpuClock cpu(1'000'000'000);
+  // Second Run queues behind the first: one contiguous busy region [0, 200).
+  cpu.Run(SimTime::FromNanos(0), 100);
+  cpu.Run(SimTime::FromNanos(50), 100);
+  EXPECT_EQ(cpu.BusyNanosIn(SimTime::FromNanos(0), SimTime::FromNanos(300)), 200u);
+  EXPECT_NEAR(cpu.Utilization(SimTime::FromNanos(0), SimTime::FromNanos(400)), 0.5,
+              1e-9);
+}
+
+TEST(CpuClock, UtilizationEmptyOrInvertedWindowIsZero) {
+  CpuClock cpu(1'000'000'000);
+  cpu.Run(SimTime::FromNanos(0), 100);
+  EXPECT_EQ(cpu.Utilization(SimTime::FromNanos(50), SimTime::FromNanos(50)), 0.0);
+  EXPECT_EQ(cpu.Utilization(SimTime::FromNanos(90), SimTime::FromNanos(10)), 0.0);
+}
+
 TEST(CpuClock, WorkAlwaysTakesNonzeroTime) {
   CpuClock cpu(3'000'000'000);
   const SimTime end = cpu.Run(SimTime::FromNanos(0), 1);

@@ -5,6 +5,7 @@
 //   tcprx_sim stream  [--system=up|smp|xen] [--aggregation] [--ack-offload]
 //                     [--optimized] [--limit=N] [--hardware-lro]
 //                     [--nics=N] [--conns-per-nic=N] [--mss=N]
+//                     [--cores=N] [--no-rss]
 //                     [--prefetch=none|partial|full] [--no-rx-csum-offload]
 //                     [--warmup-ms=N] [--measure-ms=N]
 //                     [--drop=P] [--reorder=P] [--duplicate=P] [--corrupt=P]
@@ -14,6 +15,7 @@
 // Examples:
 //   tcprx_sim stream --system=xen --optimized
 //   tcprx_sim stream --aggregation --limit=8 --nics=2 --trace --measure-ms=5
+//   tcprx_sim stream --system=smp --optimized --cores=4 --conns-per-nic=80
 //   tcprx_sim stream --drop=0.01 --optimized --json
 
 #include <cstdio>
@@ -36,6 +38,7 @@ int Usage() {
       "  common: --system=up|smp|xen  --optimized  --aggregation  --ack-offload\n"
       "          --limit=N  --hardware-lro  --prefetch=none|partial|full  --json\n"
       "  stream: --nics=N  --conns-per-nic=N  --mss=N  --warmup-ms=N  --measure-ms=N\n"
+      "          --cores=N (multi-core receive host, RSS on by default)  --no-rss\n"
       "          --no-rx-csum-offload  --drop=P  --reorder=P  --duplicate=P  --corrupt=P\n"
       "          --trace  --trace-limit=N\n");
   return 2;
@@ -77,6 +80,8 @@ TestbedConfig BuildConfig(FlagParser& flags) {
   config.stack.fill_tcp_checksums = flags.GetBool("fill-checksums", false);
   config.num_nics = flags.GetUint("nics", 5);
   config.nic.rx_checksum_offload = !flags.GetBool("no-rx-csum-offload");
+  config.smp.num_cores = flags.GetUint("cores", 1);
+  config.smp.rss.enabled = !flags.GetBool("no-rss");
 
   LinkConfig lossy = config.link;
   lossy.drop_probability = flags.GetDouble("drop", 0.0);
@@ -103,6 +108,20 @@ void PrintStreamJson(const StreamResult& r) {
               static_cast<unsigned long long>(r.ack_templates));
   std::printf("  \"nic_drops\": %llu,\n", static_cast<unsigned long long>(r.nic_drops));
   std::printf("  \"retransmits\": %llu,\n", static_cast<unsigned long long>(r.retransmits));
+  std::printf("  \"num_cores\": %llu,\n",
+              static_cast<unsigned long long>(r.per_core_utilization.size()));
+  std::printf("  \"per_core_utilization\": [");
+  for (size_t c = 0; c < r.per_core_utilization.size(); ++c) {
+    std::printf("%s%.4f", c > 0 ? ", " : "", r.per_core_utilization[c]);
+  }
+  std::printf("],\n");
+  std::printf("  \"load_imbalance\": %.4f,\n", r.load_imbalance);
+  std::printf("  \"intercore_transfers\": %llu,\n",
+              static_cast<unsigned long long>(r.intercore_transfers));
+  std::printf("  \"misdirected_packets\": %llu,\n",
+              static_cast<unsigned long long>(r.misdirected_packets));
+  std::printf("  \"backlog_drops\": %llu,\n",
+              static_cast<unsigned long long>(r.backlog_drops));
   std::printf("  \"breakdown\": {\n");
   for (size_t c = 0; c < kCostCategoryCount; ++c) {
     std::printf("    \"%s\": %.1f%s\n", CostCategoryName(static_cast<CostCategory>(c)),
@@ -153,7 +172,7 @@ int RunStream(FlagParser& flags) {
     std::printf("\nserver connections (ss-style):\n");
     std::printf("%-14s %12s %10s %8s %8s %8s\n", "state", "bytes_rx", "dup_segs",
                 "ooo", "paws", "acks");
-    bed.stack().ForEachConnection([](TcpConnection& c) {
+    bed.ForEachConnection([](TcpConnection& c) {
       std::printf("%-14s %12llu %10llu %8llu %8llu %8llu\n", TcpStateName(c.state()),
                   static_cast<unsigned long long>(c.bytes_received()),
                   static_cast<unsigned long long>(c.duplicate_segments_received()),
@@ -166,6 +185,7 @@ int RunStream(FlagParser& flags) {
     PrintStreamJson(result);
   } else {
     PrintStreamSummary("stream", result);
+    PrintPerCoreSummary(result);
     PrintBreakdownTable("cycles per packet",
                         config.stack.xen() ? XenFigureCategories() : NativeFigureCategories(),
                         {"measured"}, {&result});
