@@ -198,9 +198,12 @@ void Aggregator::RewriteAggregateHeader(Partial& partial) {
   const size_t tcp_hsize = skb.view.tcp.HeaderSize();
 
   // IP total length covers the whole aggregate; fresh header checksum (the paper
-  // recomputes the IP checksum of the aggregated packet).
-  const uint16_t total_length =
-      static_cast<uint16_t>(ip_hsize + tcp_hsize + partial.total_payload);
+  // recomputes the IP checksum of the aggregated packet). TryAppend bounds every
+  // chain at kMaxAggregateDatagram, so the 16-bit field cannot silently wrap here.
+  const size_t datagram_size = ip_hsize + tcp_hsize + partial.total_payload;
+  TCPRX_CHECK_MSG(datagram_size <= kMaxAggregateDatagram,
+                  "aggregate overflows the 16-bit IP total-length field");
+  const uint16_t total_length = static_cast<uint16_t>(datagram_size);
   StoreBe16(bytes.data() + ip_off + 2, total_length);
   StoreBe16(bytes.data() + ip_off + 10, 0);
   const uint16_t ip_csum = InternetChecksum(bytes.subspan(ip_off, ip_hsize));

@@ -1,0 +1,57 @@
+// Differential execution of one fuzz Scenario.
+//
+// Two tiers, mirroring tests/equivalence_test.cc but generated instead of
+// hand-picked:
+//
+//  * Direct drive: the same post-fault frame schedule is fed, frame by frame, to a
+//    baseline stack, an optimized stack, and an optimized stack with aggregation
+//    limit 1. Timing is fully controlled (identical Idle() flush points, identical
+//    event-loop advancement), so the DESIGN.md section 5 invariants are checked
+//    exactly: per-flow stream digests, per-flow ACK traces, congestion-window
+//    traces (bidirectional scenarios), limit-1 byte-identical output, the
+//    work-conserving flush, and aggregation conservation/bypass ordering via the
+//    stack's host-packet tap.
+//
+//  * Testbed (optional, slower): the full simulator with probabilistic link faults
+//    checks end-to-end stream completeness baseline-vs-optimized, and a 1-core vs
+//    N-core RSS pair checks per-flow delivery digests under flow steering. Timing
+//    differs legitimately here, so only completeness/digest oracles apply.
+//
+// Every failure is reported as a one-line string naming the oracle; RunScenario
+// never asserts, so the shrinker can re-run candidate scenarios cheaply.
+
+#ifndef SRC_FUZZ_DIFFER_H_
+#define SRC_FUZZ_DIFFER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fuzz/scenario.h"
+
+namespace tcprx {
+namespace fuzz {
+
+struct DiffOptions {
+  // Mutations applied to the *optimized* stack only — used by the harness
+  // self-tests to prove the oracles catch a broken invariant.
+  bool mutate_coalesce_acks = false;
+  bool mutate_skip_idle_flush = false;
+  // Also run the full-testbed tier (slower; the driver runs it on a subset of
+  // seeds).
+  bool run_testbed = false;
+  // When non-empty, capture the optimized direct-drive run (frames fed and frames
+  // transmitted) into this pcap file.
+  std::string pcap_path;
+};
+
+struct DiffResult {
+  std::vector<std::string> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+DiffResult RunScenario(const Scenario& scenario, const DiffOptions& options = {});
+
+}  // namespace fuzz
+}  // namespace tcprx
+
+#endif  // SRC_FUZZ_DIFFER_H_

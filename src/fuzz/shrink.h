@@ -1,0 +1,36 @@
+// Fault-plan shrinking for failing fuzz scenarios.
+//
+// Greedy delta-debugging over the scenario's FaultEvent list: repeatedly try
+// removing chunks (halving from n/2 down to single events) and keep any reduction
+// for which the scenario still fails. Because fault indices are applied modulo the
+// current schedule length (see scenario.h), removing events never invalidates the
+// remaining plan. The base traffic schedule derives from the seed alone, so
+// shrinking the fault plan never perturbs the frames it applies to.
+
+#ifndef SRC_FUZZ_SHRINK_H_
+#define SRC_FUZZ_SHRINK_H_
+
+#include <functional>
+
+#include "src/fuzz/scenario.h"
+
+namespace tcprx {
+namespace fuzz {
+
+// Returns true when `scenario` still fails (i.e. the failure reproduces).
+using StillFailsFn = std::function<bool(const Scenario&)>;
+
+struct ShrinkResult {
+  Scenario scenario;   // same as input except for a (possibly) reduced fault plan
+  size_t runs = 0;     // how many candidate re-executions the shrink cost
+  size_t removed = 0;  // fault events removed from the original plan
+};
+
+// Minimizes `scenario.faults` under `still_fails`. `still_fails(scenario)` must be
+// true on entry, otherwise the input is returned unchanged.
+ShrinkResult ShrinkFaults(const Scenario& scenario, const StillFailsFn& still_fails);
+
+}  // namespace fuzz
+}  // namespace tcprx
+
+#endif  // SRC_FUZZ_SHRINK_H_

@@ -123,12 +123,18 @@ void NetworkStack::ReceiveFrame(PacketPtr frame) {
 }
 
 void NetworkStack::OnReceiveQueueEmpty() {
+  if (config_.debug_skip_idle_flush) {
+    return;  // mutation: violate work conservation; see StackConfig
+  }
   if (aggregator_ != nullptr) {
     aggregator_->FlushAll();
   }
 }
 
 void NetworkStack::DeliverHostPacket(SkBuffPtr skb) {
+  if (host_packet_tap_) {
+    host_packet_tap_(*skb);
+  }
   const CostParams& costs = config_.costs;
   auto& counters = account_.counters();
   ++counters.host_packets;
@@ -204,6 +210,11 @@ void NetworkStack::DeliverHostPacket(SkBuffPtr skb) {
                   "tcp_rcv_established");
   charger_.ChargeLocks(CostCategory::kRx, costs.tcp_rx_lock_sites);
 
+  if (config_.debug_coalesce_fragment_acks) {
+    // Mutation: present the aggregate as one opaque segment, losing the
+    // per-fragment ACK replay the paper's section 3.4 equivalence depends on.
+    skb->fragment_info.clear();
+  }
   conn->OnHostPacket(*skb);
 
   charger_.Charge(CostCategory::kBuffer,

@@ -104,6 +104,12 @@ class NetworkStack {
 
   // ---- Introspection ---------------------------------------------------------------
 
+  // Observation tap for differential oracles: runs on every host packet entering
+  // protocol processing, before any verdict, with aggregation fragment_info intact.
+  // Not charged — it models a passive probe, not stack work.
+  using HostPacketTapFn = std::function<void(const SkBuff&)>;
+  void set_host_packet_tap(HostPacketTapFn fn) { host_packet_tap_ = std::move(fn); }
+
   const StackConfig& config() const { return config_; }
   CycleAccount& account() { return account_; }
   const CycleAccount& account() const { return account_; }
@@ -165,6 +171,7 @@ class NetworkStack {
   uint32_t next_iss_ = 20000;
   bool in_driver_batch_ = false;
   std::vector<std::pair<int, std::vector<uint8_t>>> staged_tx_;
+  HostPacketTapFn host_packet_tap_;
   Stats stats_;
 };
 

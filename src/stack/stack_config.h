@@ -44,6 +44,12 @@ struct StackConfig {
   CostParams costs{};
   CacheParams cache{};
 
+  // Mutation knobs for the differential fuzzer's self-tests (tools/tcprx_fuzz):
+  // each deliberately breaks one equivalence invariant so the harness's oracles can
+  // be shown to catch it. Never enabled by real configurations.
+  bool debug_coalesce_fragment_acks = false;  // drop per-fragment ACK replay metadata
+  bool debug_skip_idle_flush = false;         // break the work-conserving flush (3.5)
+
   uint32_t recv_window = 65535;
   // Applied to accepted (passive-open) connections.
   bool delayed_acks = true;

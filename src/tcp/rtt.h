@@ -26,11 +26,20 @@ class RttEstimator {
   }
 
   // Current retransmission timeout, clamped to [min_rto, max_rto].
+  //
+  // RFC 6298 rule 2.3: RTO = SRTT + max(G, K*RTTVAR). The max(G, ...) floor is
+  // essential: on a jitter-free path RTTVAR decays toward zero and without it RTO
+  // collapses onto SRTT, so any path with SRTT > kMinRto spuriously retransmits as
+  // soon as one ACK is held back by the peer's delayed-ACK timer. We follow Linux in
+  // flooring the variance term at kMinRto (tcp_rto_min-clamped rttvar) rather than at
+  // a literal clock tick, which keeps RTO >= SRTT + 200 ms on quiescent paths.
   SimDuration Rto() const {
     if (!has_sample_) {
       return kInitialRto;
     }
-    int64_t rto = srtt_ns_ + 4 * rttvar_ns_;
+    const int64_t var_floor = static_cast<int64_t>(kRttVarFloor.nanos());
+    const int64_t var_term = 4 * rttvar_ns_ > var_floor ? 4 * rttvar_ns_ : var_floor;
+    int64_t rto = srtt_ns_ + var_term;
     const int64_t min_rto = static_cast<int64_t>(kMinRto.nanos());
     const int64_t max_rto = static_cast<int64_t>(kMaxRto.nanos());
     if (rto < min_rto) {
@@ -48,6 +57,8 @@ class RttEstimator {
   static constexpr SimDuration kInitialRto = SimDuration::FromMillis(1000);
   static constexpr SimDuration kMinRto = SimDuration::FromMillis(200);
   static constexpr SimDuration kMaxRto = SimDuration::FromSeconds(60);
+  // Floor of the max(G, K*RTTVAR) variance term in Rto(); see the comment there.
+  static constexpr SimDuration kRttVarFloor = kMinRto;
 
  private:
   bool has_sample_ = false;

@@ -403,33 +403,60 @@ void TcpConnection::ProcessAckField(uint64_t ack, uint32_t window, uint64_t seg_
 }
 
 void TcpConnection::DeliverPayload(const SkBuff& skb, uint64_t seg_seq) {
-  const size_t len = skb.PayloadSize();
-  const uint64_t seg_end = seg_seq + len;
+  if (skb.fragment_info.empty()) {
+    if (skb.view.payload_size > 0) {
+      DeliverSegment(skb.head->Bytes().subspan(skb.view.payload_offset, skb.view.payload_size),
+                     seg_seq);
+    }
+    return;
+  }
+
+  // Aggregated host packet: replay each constituent network segment through the
+  // full receive machine, in arrival order (section 3.4.2). Running the complete
+  // per-segment logic — duplicate detection, out-of-order buffering, reassembly
+  // pops — between fragments is what makes aggregation invisible to the sender:
+  // e.g. a retransmitted segment chained onto a hole-filling one must still draw
+  // both the hole-fill ACK and the duplicate ACK the unaggregated stack emits.
+  uint64_t fseq = seg_seq;
+  size_t frag_index = 0;
+  for (const FragmentInfo& fi : skb.fragment_info) {
+    std::span<const uint8_t> payload;
+    if (frag_index == 0) {
+      payload = skb.head->Bytes().subspan(skb.view.payload_offset, skb.view.payload_size);
+    } else {
+      const SkBuff::Fragment& frag = skb.frags[frag_index - 1];
+      payload = frag.frame->Bytes().subspan(frag.payload_offset, frag.payload_size);
+    }
+    TCPRX_CHECK_MSG(payload.size() == fi.payload_len,
+                    "aggregate fragment metadata disagrees with payload layout");
+    if (fi.payload_len > 0) {
+      DeliverSegment(payload, fseq);
+    }
+    fseq += fi.payload_len;
+    ++frag_index;
+  }
+}
+
+void TcpConnection::DeliverSegment(std::span<const uint8_t> payload, uint64_t seg_seq) {
+  const uint64_t seg_end = seg_seq + payload.size();
   const uint64_t old_rcv_nxt = rcv_nxt_;
 
   if (seg_end <= rcv_nxt_) {
     // Entirely duplicate data (a retransmission we already have): ack immediately.
     // The cumulative ACK also covers any odd segment awaiting a delayed ACK.
-    duplicate_segments_received_ += skb.SegmentCount();
+    ++duplicate_segments_received_;
     pending_acks_->push_back(static_cast<uint32_t>(rcv_nxt_));
     segs_since_ack_ = 0;
     return;
   }
 
   if (seg_seq > rcv_nxt_) {
-    // Out of order: buffer it and send one duplicate ACK per constituent network
-    // segment, so the sender's fast-retransmit threshold behaves as without
-    // aggregation (section 3.4.2 applied to the out-of-order case).
-    std::vector<uint8_t> buf;
-    buf.reserve(len);
-    skb.ForEachPayload(
-        [&buf](std::span<const uint8_t> span) { buf.insert(buf.end(), span.begin(), span.end()); });
-    reassembly_.Insert(seg_seq, std::move(buf));
-    ooo_segments_received_ += skb.SegmentCount();
-    for (size_t i = 0; i < skb.SegmentCount(); ++i) {
-      pending_acks_->push_back(static_cast<uint32_t>(rcv_nxt_));
-    }
-    segs_since_ack_ = 0;  // the dup ACKs are cumulative
+    // Out of order: buffer it and send a duplicate ACK, so the sender's
+    // fast-retransmit threshold behaves as without aggregation.
+    reassembly_.Insert(seg_seq, std::vector<uint8_t>(payload.begin(), payload.end()));
+    ++ooo_segments_received_;
+    pending_acks_->push_back(static_cast<uint32_t>(rcv_nxt_));
+    segs_since_ack_ = 0;  // the dup ACK is cumulative
     return;
   }
 
@@ -454,62 +481,31 @@ void TcpConnection::DeliverPayload(const SkBuff& skb, uint64_t seg_seq) {
       return;
     }
   }
-  uint64_t skip = rcv_nxt_ - seg_seq;
-  uint64_t remaining = deliver_end - rcv_nxt_;
+  const uint64_t skip = rcv_nxt_ - seg_seq;
+  std::span<const uint8_t> usable =
+      payload.subspan(static_cast<size_t>(skip),
+                      static_cast<size_t>(deliver_end - rcv_nxt_));
   rcv_nxt_ = deliver_end;
   bytes_received_ += deliver_end - old_rcv_nxt;
   const bool was_empty = rcv_buffer_.empty();
-  skb.ForEachPayload([&](std::span<const uint8_t> span) {
-    if (remaining == 0) {
-      return;
+  if (config_.auto_consume) {
+    if (on_data_ && !usable.empty()) {
+      on_data_(usable);
     }
-    if (skip >= span.size()) {
-      skip -= span.size();
-      return;
-    }
-    std::span<const uint8_t> usable = span.subspan(static_cast<size_t>(skip));
-    skip = 0;
-    if (usable.size() > remaining) {
-      usable = usable.first(static_cast<size_t>(remaining));
-    }
-    remaining -= usable.size();
-    if (config_.auto_consume) {
-      if (on_data_) {
-        on_data_(usable);
-      }
-    } else {
-      rcv_buffer_.insert(rcv_buffer_.end(), usable.begin(), usable.end());
-    }
-  });
+  } else {
+    rcv_buffer_.insert(rcv_buffer_.end(), usable.begin(), usable.end());
+  }
   if (!config_.auto_consume && was_empty && !rcv_buffer_.empty() && on_readable_) {
     on_readable_();
   }
 
-  // ACK accounting at network-segment granularity: one ACK per `ack_every` full
-  // segments (2 with delayed ACKs per RFC 1122, 1 without), with ack values at the
-  // exact fragment boundaries the unaggregated stack would have produced
-  // (section 3.4.2).
+  // ACK accounting: one ACK per `ack_every` segments (2 with delayed ACKs per
+  // RFC 1122, 1 without).
   const uint32_t ack_every = config_.delayed_acks ? 2 : 1;
-  if (!skb.fragment_info.empty()) {
-    uint64_t fseq = seg_seq;
-    for (const FragmentInfo& fi : skb.fragment_info) {
-      const uint64_t fend = fseq + fi.payload_len;
-      if (fi.payload_len > 0 && fend > old_rcv_nxt) {
-        ++segs_since_ack_;
-        if (segs_since_ack_ >= ack_every) {
-          const uint64_t boundary = fend < rcv_nxt_ ? fend : rcv_nxt_;
-          pending_acks_->push_back(static_cast<uint32_t>(boundary));
-          segs_since_ack_ = 0;
-        }
-      }
-      fseq = fend;
-    }
-  } else {
-    ++segs_since_ack_;
-    if (segs_since_ack_ >= ack_every) {
-      pending_acks_->push_back(static_cast<uint32_t>(rcv_nxt_));
-      segs_since_ack_ = 0;
-    }
+  ++segs_since_ack_;
+  if (segs_since_ack_ >= ack_every) {
+    pending_acks_->push_back(static_cast<uint32_t>(rcv_nxt_));
+    segs_since_ack_ = 0;
   }
 
   // A delivery may have closed a reassembly hole.
@@ -642,6 +638,9 @@ void TcpConnection::EmitPureAcks(const std::vector<uint32_t>& ack_values) {
       BuildSegment(static_cast<uint32_t>(snd_nxt_), ack_values.front(), kTcpAck, {});
   item.extra_acks.assign(ack_values.begin() + 1, ack_values.end());
   acks_emitted_ += ack_values.size();
+  if (ack_trace_enabled_) {
+    ack_trace_.insert(ack_trace_.end(), ack_values.begin(), ack_values.end());
+  }
   // NOTE: segs_since_ack_ is deliberately NOT reset here. A batch of boundary ACKs
   // from an aggregated packet may leave a trailing odd segment still owed an ACK;
   // the callers reset the counter exactly where a cumulative ACK covers it.

@@ -175,6 +175,10 @@ class TcpConnection {
   const RenoController& congestion() const { return reno_; }
   const RttEstimator& rtt() const { return rtt_; }
   uint32_t rcv_nxt_wire() const { return static_cast<uint32_t>(rcv_nxt_); }
+  // Oracle hook for the differential fuzzer: record the ack number of every pure
+  // ACK this connection emits (batched runs flattened), in emission order.
+  void EnableAckTrace() { ack_trace_enabled_ = true; }
+  const std::vector<uint32_t>& ack_trace() const { return ack_trace_; }
   uint64_t snd_nxt_ext() const { return snd_nxt_; }
   uint64_t snd_una_ext() const { return snd_una_; }
   uint64_t rcv_nxt_ext() const { return rcv_nxt_; }
@@ -194,6 +198,10 @@ class TcpConnection {
   void ProcessSegmentCommon(const SkBuff& skb);
   void ProcessAckField(uint64_t ack, uint32_t window, uint64_t seg_seq, bool has_payload);
   void DeliverPayload(const SkBuff& skb, uint64_t seg_seq);
+  // One network segment through the receive machine: duplicate / out-of-order /
+  // in-order handling, ACK accounting, reassembly pops. Aggregated host packets
+  // replay each fragment through this individually (section 3.4.2).
+  void DeliverSegment(std::span<const uint8_t> payload, uint64_t seg_seq);
   void HandleFin(uint64_t fin_seq);
 
   // --- output helpers ---
@@ -285,6 +293,9 @@ class TcpConnection {
   bool rtt_probe_armed_ = false;
   uint64_t rtt_probe_seq_ = 0;
   SimTime rtt_probe_sent_at_;
+
+  bool ack_trace_enabled_ = false;
+  std::vector<uint32_t> ack_trace_;
 
   uint16_t next_ip_id_ = 1;
   uint64_t bytes_received_ = 0;

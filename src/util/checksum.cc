@@ -19,7 +19,17 @@ void ChecksumAccumulator::Add(std::span<const uint8_t> data) {
   }
 }
 
-void ChecksumAccumulator::AddWord(uint16_t word) { sum_ += word; }
+void ChecksumAccumulator::AddWord(uint16_t word) {
+  if (odd_) {
+    // The accumulator sits mid-word: this word's high byte completes the pending
+    // word's low lane and its low byte opens the next word's high lane, i.e. the
+    // byte-swapped lanes (RFC 1071 section 2(B) odd-offset rule). Parity is
+    // unchanged by a 2-byte insertion, so odd_ stays set.
+    sum_ += static_cast<uint16_t>((word >> 8) | (word << 8));
+  } else {
+    sum_ += word;
+  }
+}
 
 uint16_t ChecksumAccumulator::FoldedSum() const {
   uint64_t s = sum_;

@@ -445,6 +445,32 @@ TEST_F(AggregatorTest, StatsAddUp) {
   EXPECT_EQ(stats.passthrough, 1u);
 }
 
+TEST_F(AggregatorTest, DatagramBoundedAtExactly16BitTotalLength) {
+  // head_headers = 20 (IP) + 32 (TCP with timestamp) = 52, so payloads summing to
+  // 65483 put the rewritten IP total length at exactly 0xffff — the largest legal
+  // datagram. With jumbo MSS and a generous limit the 16-bit field would otherwise
+  // silently wrap.
+  constexpr size_t kHeaders = 52;
+  constexpr size_t kFirst = 40000;
+  constexpr size_t kSecond = 0xffff - kHeaders - kFirst;  // 25483
+  PushData(1000, 1, kFirst);
+  PushData(1000 + kFirst, 1, kSecond);
+  EXPECT_EQ(aggregator_.stats().aggregated_segments, 1u);  // chained at the boundary
+  // One more byte would overflow the field: the chain must close and the new
+  // segment must start a fresh partial instead of appending.
+  PushData(1000 + kFirst + kSecond, 1, 100);
+  EXPECT_EQ(aggregator_.stats().mismatch_flushes, 1u);
+  ASSERT_EQ(delivered_.size(), 1u);
+  const SkBuff& skb = *delivered_.front();
+  EXPECT_EQ(skb.SegmentCount(), 2u);
+  EXPECT_EQ(skb.PayloadSize(), kFirst + kSecond);
+  const auto bytes = skb.head->Bytes();
+  EXPECT_EQ(LoadBe16(bytes.data() + skb.view.ip_offset + 2), 0xffff);
+  EXPECT_TRUE(
+      VerifyIpv4Checksum(bytes.subspan(skb.view.ip_offset, skb.view.ip.HeaderSize())));
+  EXPECT_EQ(aggregator_.PendingFlows(), 1u);  // the 100-byte tail is a new partial
+}
+
 TEST_F(AggregatorTest, RandomizedPerFlowStreamIntegrity) {
   // Random mix of flows, sizes, and occasional ineligible packets; per-flow payload
   // concatenation must be preserved in order.

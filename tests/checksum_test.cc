@@ -116,5 +116,27 @@ TEST(Checksum, AddWordMatchesBytePair) {
   EXPECT_EQ(a.Finish(), b.Finish());
 }
 
+TEST(Checksum, AddWordAfterOddSpanUsesSwappedLanes) {
+  // Regression: AddWord used to ignore the pending odd-byte state, folding the word
+  // into the wrong one's-complement lanes after an odd-length Add (RFC 1071
+  // section 2(B): a word at an odd byte offset contributes byte-swapped).
+  ChecksumAccumulator acc;
+  const std::vector<uint8_t> head = {0xab};
+  acc.Add(head);
+  acc.AddWord(0x1234);
+  const std::vector<uint8_t> flat = {0xab, 0x12, 0x34};
+  EXPECT_EQ(acc.Finish(), InternetChecksum(flat));
+
+  // Parity is unchanged by the 2-byte insertion: a following span must still start
+  // in the low lane.
+  ChecksumAccumulator acc2;
+  acc2.Add(head);
+  acc2.AddWord(0x1234);
+  const std::vector<uint8_t> tail = {0x56, 0x78};
+  acc2.Add(tail);
+  const std::vector<uint8_t> flat2 = {0xab, 0x12, 0x34, 0x56, 0x78};
+  EXPECT_EQ(acc2.Finish(), InternetChecksum(flat2));
+}
+
 }  // namespace
 }  // namespace tcprx

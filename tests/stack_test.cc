@@ -36,16 +36,19 @@ class StackTest : public ::testing::Test {
     stack_->ReceiveFrame(std::move(p));
   }
 
-  // SYN -> SYN-ACK -> ACK; returns the accepted server connection.
+  // SYN -> SYN-ACK -> ACK; returns the accepted server connection. The listener
+  // outlives this call (tests may feed further SYNs), so it must capture a slot
+  // that outlives it too — a by-reference capture of a local here corrupts the
+  // stack when a later SYN re-invokes the listener.
   TcpConnection* Handshake() {
-    TcpConnection* accepted = nullptr;
-    stack_->Listen(5001, [&](TcpConnection& conn) { accepted = &conn; });
+    accepted_ = nullptr;
+    stack_->Listen(5001, [this](TcpConnection& conn) { accepted_ = &conn; });
     FrameOptions syn;
     syn.flags = kTcpSyn;
     syn.seq = 999;
     Feed(MakeFrame(syn, 0));
     stack_->OnReceiveQueueEmpty();
-    EXPECT_NE(accepted, nullptr);
+    EXPECT_NE(accepted_, nullptr);
     auto synack = ParseTcpFrame(sent_.back().second);
     EXPECT_TRUE(synack.has_value());
     FrameOptions ack;
@@ -54,12 +57,13 @@ class StackTest : public ::testing::Test {
     Feed(MakeFrame(ack, 0));
     stack_->OnReceiveQueueEmpty();
     sent_.clear();
-    return accepted;
+    return accepted_;
   }
 
   EventLoop loop_;
   std::unique_ptr<NetworkStack> stack_;
   std::vector<std::pair<int, std::vector<uint8_t>>> sent_;
+  TcpConnection* accepted_ = nullptr;
 };
 
 TEST_F(StackTest, ListenerAcceptsAndDemuxes) {

@@ -149,7 +149,23 @@ TEST(Rtt, RtoClampedToMinimum) {
   for (int i = 0; i < 20; ++i) {
     rtt.AddSample(SimDuration::FromMicros(100));  // LAN RTT
   }
-  EXPECT_EQ(rtt.Rto(), RttEstimator::kMinRto);
+  // On a LAN path the variance floor dominates: RTO = srtt + kRttVarFloor, and it
+  // must never fall below kMinRto.
+  EXPECT_GE(rtt.Rto(), RttEstimator::kMinRto);
+  EXPECT_EQ(rtt.Rto(), SimDuration::FromMicros(100) + RttEstimator::kRttVarFloor);
+}
+
+TEST(Rtt, LongRttJitterFreePathKeepsVarianceFloor) {
+  // Regression: without the RFC 6298 max(G, K*RTTVAR) floor, RTTVAR decays toward
+  // zero on a jitter-free path and RTO collapses onto SRTT, so a 300 ms path
+  // spuriously retransmits whenever the peer holds one ACK back for its delayed-ACK
+  // timer. The floored RTO must stay a full kMinRto above SRTT.
+  RttEstimator rtt;
+  for (int i = 0; i < 100; ++i) {
+    rtt.AddSample(SimDuration::FromMillis(300));
+  }
+  EXPECT_EQ(rtt.Srtt(), SimDuration::FromMillis(300));
+  EXPECT_EQ(rtt.Rto(), SimDuration::FromMillis(300) + RttEstimator::kRttVarFloor);
 }
 
 TEST(Rtt, RtoClampedToMaximum) {

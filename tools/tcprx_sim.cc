@@ -9,6 +9,8 @@
 //                     [--prefetch=none|partial|full] [--no-rx-csum-offload]
 //                     [--warmup-ms=N] [--measure-ms=N]
 //                     [--drop=P] [--reorder=P] [--duplicate=P] [--corrupt=P]
+//                     [--seed=N] [--burst-drop-period=N] [--burst-drop-length=N]
+//                     [--reorder-delay-us=N]
 //                     [--trace] [--trace-limit=N] [--json]
 //   tcprx_sim latency [--system=...] [--optimized] [--measure-ms=N] [--json]
 //
@@ -40,6 +42,7 @@ int Usage() {
       "  stream: --nics=N  --conns-per-nic=N  --mss=N  --warmup-ms=N  --measure-ms=N\n"
       "          --cores=N (multi-core receive host, RSS on by default)  --no-rss\n"
       "          --no-rx-csum-offload  --drop=P  --reorder=P  --duplicate=P  --corrupt=P\n"
+      "          --seed=N  --burst-drop-period=N  --burst-drop-length=N  --reorder-delay-us=N\n"
       "          --trace  --trace-limit=N\n");
   return 2;
 }
@@ -88,15 +91,42 @@ TestbedConfig BuildConfig(FlagParser& flags) {
   lossy.reorder_probability = flags.GetDouble("reorder", 0.0);
   lossy.duplicate_probability = flags.GetDouble("duplicate", 0.0);
   lossy.corrupt_probability = flags.GetDouble("corrupt", 0.0);
+  lossy.burst_drop_period = flags.GetUint("burst-drop-period", 0);
+  lossy.burst_drop_length = flags.GetUint("burst-drop-length", lossy.burst_drop_period > 0 ? 2 : 0);
+  lossy.reorder_delay = SimDuration::FromMicros(flags.GetUint("reorder-delay-us", 40));
+  if (flags.Has("seed")) {
+    lossy.fault_seed = flags.GetUint("seed", lossy.fault_seed);
+  } else {
+    flags.GetUint("seed", 0);  // mark used so --seed never trips the unknown-flag check
+  }
   if (lossy.drop_probability > 0 || lossy.reorder_probability > 0 ||
-      lossy.duplicate_probability > 0 || lossy.corrupt_probability > 0) {
+      lossy.duplicate_probability > 0 || lossy.corrupt_probability > 0 ||
+      lossy.burst_drop_period > 0) {
     config.client_to_server_link = lossy;
   }
   return config;
 }
 
-void PrintStreamJson(const StreamResult& r) {
+// Echoes the fault schedule (and the seed that drives it) so a JSON result is
+// self-describing: the line alone reproduces the run.
+void PrintFaultJson(const TestbedConfig& config) {
+  const LinkConfig& link =
+      config.client_to_server_link ? *config.client_to_server_link : config.link;
+  std::printf("  \"seed\": %llu,\n", static_cast<unsigned long long>(link.fault_seed));
+  std::printf(
+      "  \"faults\": { \"drop\": %.5f, \"duplicate\": %.5f, \"corrupt\": %.5f, "
+      "\"reorder\": %.5f, \"reorder_delay_us\": %llu, \"burst_drop_period\": %llu, "
+      "\"burst_drop_length\": %llu },\n",
+      link.drop_probability, link.duplicate_probability, link.corrupt_probability,
+      link.reorder_probability,
+      static_cast<unsigned long long>(link.reorder_delay.nanos() / 1000),
+      static_cast<unsigned long long>(link.burst_drop_period),
+      static_cast<unsigned long long>(link.burst_drop_length));
+}
+
+void PrintStreamJson(const StreamResult& r, const TestbedConfig& config) {
   std::printf("{\n");
+  PrintFaultJson(config);
   std::printf("  \"throughput_mbps\": %.1f,\n", r.throughput_mbps);
   std::printf("  \"cpu_utilization\": %.4f,\n", r.cpu_utilization);
   std::printf("  \"cpu_scaled_mbps\": %.1f,\n", r.cpu_scaled_mbps);
@@ -182,7 +212,7 @@ int RunStream(FlagParser& flags) {
     });
   }
   if (want_json) {
-    PrintStreamJson(result);
+    PrintStreamJson(result, config);
   } else {
     PrintStreamSummary("stream", result);
     PrintPerCoreSummary(result);
@@ -218,7 +248,9 @@ int RunLatency(FlagParser& flags) {
 
   const LatencyResult result = bed.RunLatency(options);
   if (want_json) {
-    std::printf("{ \"transactions_per_sec\": %.1f }\n", result.transactions_per_sec);
+    std::printf("{\n");
+    PrintFaultJson(config);
+    std::printf("  \"transactions_per_sec\": %.1f\n}\n", result.transactions_per_sec);
   } else {
     std::printf("latency: %.0f transactions/s  rtt p50 %.1f us  p99 %.1f us  max %.1f us\n",
                 result.transactions_per_sec, result.p50_us, result.p99_us, result.max_us);
