@@ -6,8 +6,8 @@
 // code serves both. The per-batch counter lets the host convert a processing pass into
 // CPU busy time.
 
-#ifndef SRC_STACK_CHARGER_H_
-#define SRC_STACK_CHARGER_H_
+#ifndef SRC_CPU_CHARGER_H_
+#define SRC_CPU_CHARGER_H_
 
 #include <cstdint>
 
@@ -65,4 +65,4 @@ class Charger {
 
 }  // namespace tcprx
 
-#endif  // SRC_STACK_CHARGER_H_
+#endif  // SRC_CPU_CHARGER_H_

@@ -23,15 +23,15 @@
 #include <vector>
 
 #include "src/cpu/cpu_clock.h"
+#include "src/driver/rx_sink.h"
 #include "src/nic/nic.h"
-#include "src/stack/network_stack.h"
 #include "src/util/event_loop.h"
 
 namespace tcprx {
 
 class PollDriver {
  public:
-  PollDriver(EventLoop& loop, NetworkStack& stack, CpuClock& cpu)
+  PollDriver(EventLoop& loop, RxSink& stack, CpuClock& cpu)
       : loop_(loop), stack_(stack), cpu_(cpu) {}
 
   // Registers a NIC rx queue; its interrupts now wake this driver. The single-argument
@@ -75,7 +75,7 @@ class PollDriver {
   NicQueue* NextNonEmptyQueue();
 
   EventLoop& loop_;
-  NetworkStack& stack_;
+  RxSink& stack_;
   CpuClock& cpu_;
   std::vector<NicQueue> queues_;
   std::deque<PacketPtr> backlog_;

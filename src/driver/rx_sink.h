@@ -1,0 +1,54 @@
+// Dependency-inversion boundary between the poll driver and whatever consumes its
+// frames.
+//
+// The driver layer sits *below* the protocol stack in the receive DAG
+// (wire -> buffer -> nic/driver -> ip -> tcp -> stack), so it must not include
+// src/stack headers. Instead the driver owns this interface and the stack implements
+// it — the same shape as a kernel driver delivering into netif_receive_skb() through
+// a function pointer rather than linking against the protocol code. Everything the
+// poll loop needs from its consumer is here: frame delivery, the work-conserving
+// idle-flush hook, wakeup accounting, and the batch bookkeeping that converts charged
+// cycles into CPU busy time.
+
+#ifndef SRC_DRIVER_RX_SINK_H_
+#define SRC_DRIVER_RX_SINK_H_
+
+#include <cstdint>
+
+#include "src/buffer/packet.h"
+#include "src/cpu/charger.h"
+#include "src/util/sim_time.h"
+
+namespace tcprx {
+
+class RxSink {
+ public:
+  virtual ~RxSink() = default;
+
+  // Processes one raw frame popped from an rx ring; all downstream work happens
+  // synchronously and is charged into charger().
+  virtual void ReceiveFrame(PacketPtr frame) = 0;
+
+  // Work-conserving hook: called when every rx ring is empty, so partial aggregates
+  // never wait while the stack idles (section 3.5 of the paper).
+  virtual void OnReceiveQueueEmpty() = 0;
+
+  // Per-interrupt bookkeeping (softirq wakeup; domain switches under Xen).
+  virtual void ChargeWakeup() = 0;
+
+  // Driver-context transmit staging: between BeginDriverBatch and FlushDriverBatch
+  // outgoing frames are buffered; FlushDriverBatch(done) releases them at the time
+  // the CPU actually finishes the batch.
+  virtual void BeginDriverBatch() = 0;
+  virtual void FlushDriverBatch(SimTime done) = 0;
+
+  // Cycles charged since the last call; the driver turns this into CPU busy time.
+  virtual uint64_t TakeBatchCycles() = 0;
+
+  // The sink's charge sink, exposed so steering hooks can bill the polling core.
+  virtual Charger& charger() = 0;
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_DRIVER_RX_SINK_H_

@@ -2,6 +2,7 @@
 
 #include "src/util/byte_order.h"
 #include "src/util/logging.h"
+#include "src/wire/raw_view.h"
 
 namespace tcprx {
 
@@ -65,12 +66,12 @@ size_t SimulatedNic::SteerQueue(const Packet& p) {
     rr_next_queue_ = (rr_next_queue_ + 1) % queues_.size();
     return rr_next_queue_;
   }
-  const auto view = ParseTcpFrame(p.Bytes());
-  if (!view.has_value()) {
+  // Fixed-offset peek, as RSS hardware does: no option parsing, no allocation.
+  const auto peek = PeekFlowKey(p.Bytes());
+  if (!peek.has_value()) {
     return 0;  // non-TCP frames funnel to queue 0, as real RSS does
   }
-  const FlowKey key{view->ip.src, view->ip.dst, view->tcp.src_port, view->tcp.dst_port};
-  return rss_.QueueFor(key);
+  return rss_.QueueFor(peek->key);
 }
 
 void SimulatedNic::MaybeRaiseInterrupt(size_t queue) {

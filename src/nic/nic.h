@@ -25,7 +25,7 @@
 
 #include "src/buffer/packet.h"
 #include "src/nic/link.h"
-#include "src/smp/rss.h"
+#include "src/nic/rss.h"
 #include "src/util/event_loop.h"
 #include "src/util/ring.h"
 #include "src/wire/frame.h"

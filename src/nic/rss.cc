@@ -1,4 +1,4 @@
-#include "src/smp/rss.h"
+#include "src/nic/rss.h"
 
 #include "src/util/logging.h"
 

@@ -8,14 +8,14 @@
 // hashing the 4-tuple so every segment of a connection lands on the same queue. Flow
 // affinity is the property the per-core stack shards rely on for lock-free TCP state.
 
-#ifndef SRC_SMP_RSS_H_
-#define SRC_SMP_RSS_H_
+#ifndef SRC_NIC_RSS_H_
+#define SRC_NIC_RSS_H_
 
 #include <array>
 #include <cstdint>
 #include <vector>
 
-#include "src/tcp/tcp_types.h"
+#include "src/wire/flow.h"
 
 namespace tcprx {
 
@@ -57,4 +57,4 @@ class RssHasher {
 
 }  // namespace tcprx
 
-#endif  // SRC_SMP_RSS_H_
+#endif  // SRC_NIC_RSS_H_

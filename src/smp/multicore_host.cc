@@ -1,7 +1,7 @@
 #include "src/smp/multicore_host.h"
 
 #include "src/util/logging.h"
-#include "src/wire/frame.h"
+#include "src/wire/raw_view.h"
 
 namespace tcprx {
 
@@ -95,19 +95,19 @@ PollDriver* MulticoreHost::SteerFrame(size_t core, const Packet& frame, Charger&
     return nullptr;
   }
 
-  // Software steering (RPS): consult the shared flow director.
-  const auto view = ParseTcpFrame(frame.Bytes());
-  if (!view.has_value()) {
+  // Software steering (RPS): consult the shared flow director. The fixed-offset peek
+  // mirrors what get_rps_cpu does — hash fields only, no full header decode.
+  const auto peek = PeekFlowKey(frame.Bytes());
+  if (!peek.has_value()) {
     return nullptr;
   }
   ChargeSharedLine(charger, core, InterCoreModel::SharedLine::kFlowDirector,
                    CostCategory::kDriver, "rps_flow_table");
-  if (view->tcp.Has(kTcpSyn)) {
+  if (peek->syn) {
     ChargeSharedLine(charger, core, InterCoreModel::SharedLine::kListenerTable,
                      CostCategory::kNonProto, "listener_table");
   }
-  const FlowKey key{view->ip.src, view->ip.dst, view->tcp.src_port, view->tcp.dst_port};
-  const size_t owner = director_.OwnerFor(key, core);
+  const size_t owner = director_.OwnerFor(peek->key, core);
   if (owner == core) {
     return nullptr;
   }

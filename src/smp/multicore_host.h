@@ -29,7 +29,7 @@
 #include "src/nic/nic.h"
 #include "src/smp/cpu_topology.h"
 #include "src/smp/intercore.h"
-#include "src/smp/rss.h"
+#include "src/nic/rss.h"
 #include "src/stack/network_stack.h"
 #include "src/util/event_loop.h"
 

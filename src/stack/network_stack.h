@@ -34,9 +34,10 @@
 #include "src/buffer/skbuff.h"
 #include "src/core/aggregator.h"
 #include "src/cpu/cache_model.h"
+#include "src/cpu/charger.h"
 #include "src/cpu/cycle_account.h"
+#include "src/driver/rx_sink.h"
 #include "src/ip/ipv4_layer.h"
-#include "src/stack/charger.h"
 #include "src/stack/stack_config.h"
 #include "src/tcp/tcp_connection.h"
 #include "src/util/event_loop.h"
@@ -44,7 +45,9 @@
 
 namespace tcprx {
 
-class NetworkStack {
+// NetworkStack is the driver layer's RxSink: PollDriver delivers frames and batch
+// boundaries through that interface, never by including stack headers.
+class NetworkStack : public RxSink {
  public:
   // `transmit` puts a finished frame on the given NIC.
   using TransmitFn = std::function<void(int nic_id, std::vector<uint8_t> frame)>;
@@ -60,21 +63,21 @@ class NetworkStack {
 
   // Processes one raw frame popped from an rx ring; all downstream work (aggregation,
   // protocol processing, ACK transmission) happens synchronously and is charged.
-  void ReceiveFrame(PacketPtr frame);
+  void ReceiveFrame(PacketPtr frame) override;
 
   // Work-conserving hook: the poll loop calls this when every rx ring is empty, so
   // partial aggregates never wait while the stack idles (section 3.5).
-  void OnReceiveQueueEmpty();
+  void OnReceiveQueueEmpty() override;
 
   // Per-interrupt bookkeeping (softirq wakeup; domain switches under Xen).
-  void ChargeWakeup();
+  void ChargeWakeup() override;
 
   // Driver-context transmit staging. Between BeginDriverBatch and FlushDriverBatch
   // outgoing frames are buffered; FlushDriverBatch(done) releases them at the time
   // the CPU actually finishes the batch, so end-to-end latency includes processing
   // time. Outputs generated outside a driver batch (TCP timers) transmit immediately.
-  void BeginDriverBatch();
-  void FlushDriverBatch(SimTime done);
+  void BeginDriverBatch() override;
+  void FlushDriverBatch(SimTime done) override;
 
   // ---- Connections -----------------------------------------------------------------
 
@@ -113,13 +116,13 @@ class NetworkStack {
   const StackConfig& config() const { return config_; }
   CycleAccount& account() { return account_; }
   const CycleAccount& account() const { return account_; }
-  Charger& charger() { return charger_; }
+  Charger& charger() override { return charger_; }
   const CacheModel& cache_model() const { return cache_; }
   const Aggregator* aggregator() const { return aggregator_.get(); }
   const Ipv4Layer& ip_layer() const { return ip_; }
   PacketPool& packet_pool() { return packet_pool_; }
   SkBuffPool& skb_pool() { return skb_pool_; }
-  uint64_t TakeBatchCycles() { return charger_.TakeBatchCycles(); }
+  uint64_t TakeBatchCycles() override { return charger_.TakeBatchCycles(); }
 
   struct Stats {
     uint64_t frames_received = 0;

@@ -6,6 +6,9 @@
 #include <cstdint>
 #include <functional>
 
+// FlowKey used to be defined here; it now lives with the address types in the wire
+// layer so the NIC-level consumers (RSS, raw views) need no upward include.
+#include "src/wire/flow.h"
 #include "src/wire/ipv4.h"
 
 namespace tcprx {
@@ -15,28 +18,6 @@ inline bool SeqLt(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) <
 inline bool SeqLe(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) <= 0; }
 inline bool SeqGt(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) > 0; }
 inline bool SeqGe(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) >= 0; }
-
-// The connection 4-tuple, from the receiver's point of view. Also the flow key the
-// Receive Aggregation engine hashes on (section 3.1: same source IP, destination IP,
-// source port and destination port).
-struct FlowKey {
-  Ipv4Address src_ip;
-  Ipv4Address dst_ip;
-  uint16_t src_port = 0;
-  uint16_t dst_port = 0;
-
-  bool operator==(const FlowKey&) const = default;
-};
-
-struct FlowKeyHash {
-  size_t operator()(const FlowKey& k) const {
-    uint64_t h = k.src_ip.value;
-    h = h * 0x9e3779b97f4a7c15ull + k.dst_ip.value;
-    h = h * 0x9e3779b97f4a7c15ull + (static_cast<uint64_t>(k.src_port) << 16 | k.dst_port);
-    h ^= h >> 29;
-    return static_cast<size_t>(h);
-  }
-};
 
 }  // namespace tcprx
 

@@ -1,0 +1,42 @@
+// The connection 4-tuple and its hash.
+//
+// FlowKey lives in the wire layer because every layer above it keys on the 4-tuple:
+// the NIC's RSS indirection (src/nic/rss.h), the Receive Aggregation flow table
+// (src/core/aggregator.h), the TCP demux (src/stack/) and the software flow director
+// (src/smp/intercore.h). Keeping it next to the address types avoids upward includes
+// from the hardware layers into src/tcp.
+
+#ifndef SRC_WIRE_FLOW_H_
+#define SRC_WIRE_FLOW_H_
+
+#include <cstdint>
+
+#include "src/wire/ipv4.h"
+
+namespace tcprx {
+
+// The connection 4-tuple, from the receiver's point of view. Also the flow key the
+// Receive Aggregation engine hashes on (section 3.1: same source IP, destination IP,
+// source port and destination port).
+struct FlowKey {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+
+  bool operator==(const FlowKey&) const = default;
+};
+
+struct FlowKeyHash {
+  size_t operator()(const FlowKey& k) const {
+    uint64_t h = k.src_ip.value;
+    h = h * 0x9e3779b97f4a7c15ull + k.dst_ip.value;
+    h = h * 0x9e3779b97f4a7c15ull + (static_cast<uint64_t>(k.src_port) << 16 | k.dst_port);
+    h ^= h >> 29;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace tcprx
+
+#endif  // SRC_WIRE_FLOW_H_

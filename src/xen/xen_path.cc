@@ -1,6 +1,6 @@
 #include "src/xen/xen_path.h"
 
-#include "src/stack/charger.h"
+#include "src/cpu/charger.h"
 
 namespace tcprx {
 

@@ -26,7 +26,7 @@
 
 namespace tcprx {
 
-// Charge sink shared with the network stack (defined in stack/charger.h); forward
+// Charge sink shared with the network stack (defined in cpu/charger.h); forward
 // declared here to keep the dependency one-way.
 class Charger;
 

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "src/sim/testbed.h"
-#include "src/smp/rss.h"
+#include "src/nic/rss.h"
 
 namespace tcprx {
 namespace {
