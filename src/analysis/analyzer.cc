@@ -1,0 +1,115 @@
+#include "src/analysis/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace tcprx::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Normalize(const fs::path& p) {
+  std::string s = p.generic_string();
+  while (s.rfind("./", 0) == 0) {
+    s = s.substr(2);
+  }
+  return s;
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool SkipDir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "build" || (!name.empty() && name.front() == '.');
+}
+
+}  // namespace
+
+std::vector<std::string> CollectFiles(const std::vector<std::string>& paths,
+                                      std::string& error) {
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_regular_file(path, ec)) {
+      files.push_back(Normalize(path));
+      continue;
+    }
+    if (!fs::is_directory(path, ec)) {
+      error = "no such file or directory: " + path;
+      return {};
+    }
+    fs::recursive_directory_iterator it(path, fs::directory_options::skip_permission_denied,
+                                        ec);
+    if (ec) {
+      error = "cannot walk " + path + ": " + ec.message();
+      return {};
+    }
+    for (const auto& entry : it) {
+      if (entry.is_directory(ec)) {
+        if (SkipDir(entry.path())) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      if (entry.is_regular_file(ec) && IsSourceFile(entry.path())) {
+        files.push_back(Normalize(entry.path()));
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+AnalyzedFile Analyze(const std::string& display_path, std::string_view contents) {
+  AnalyzedFile file;
+  file.path = display_path;
+  file.is_header = display_path.size() > 2 &&
+                   (display_path.ends_with(".h") || display_path.ends_with(".hpp"));
+  if (display_path.rfind("src/", 0) == 0) {
+    const size_t slash = display_path.find('/', 4);
+    file.layer =
+        slash == std::string::npos ? display_path : display_path.substr(0, slash);
+  }
+  file.lex = Lex(contents);
+  file.structure = BuildStructure(file.lex.tokens);
+  return file;
+}
+
+std::vector<Finding> RunChecks(const std::vector<std::string>& files, const Config& config,
+                               std::string& error) {
+  std::vector<Finding> findings;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      error = "cannot read " + path;
+      return {};
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string contents = buf.str();
+    const AnalyzedFile file = Analyze(path, contents);
+    CheckAll(file, config, findings);
+  }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) {
+      return a.file < b.file;
+    }
+    if (a.line != b.line) {
+      return a.line < b.line;
+    }
+    return a.rule < b.rule;
+  });
+  return findings;
+}
+
+std::string FormatFinding(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " + f.message;
+}
+
+}  // namespace tcprx::analysis

@@ -1,0 +1,34 @@
+// File collection and rule orchestration for tcprx_check.
+
+#ifndef SRC_ANALYSIS_ANALYZER_H_
+#define SRC_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/config.h"
+#include "src/analysis/finding.h"
+#include "src/analysis/rules.h"
+
+namespace tcprx::analysis {
+
+// Recursively collects .h/.cc files under each path (a path may also be a single
+// file). Paths are returned normalized with '/' separators, sorted, deduplicated;
+// directories named "build" or starting with '.' are skipped.
+std::vector<std::string> CollectFiles(const std::vector<std::string>& paths,
+                                      std::string& error);
+
+// Lexes + structures one file's contents. `display_path` should be repo-relative so
+// the config's file lists and layer prefixes match.
+AnalyzedFile Analyze(const std::string& display_path, std::string_view contents);
+
+// Runs every rule over every file. Returns findings sorted by (file, line, rule).
+std::vector<Finding> RunChecks(const std::vector<std::string>& files, const Config& config,
+                               std::string& error);
+
+// Formats one finding as "file:line: [rule] message".
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace tcprx::analysis
+
+#endif  // SRC_ANALYSIS_ANALYZER_H_

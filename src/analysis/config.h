@@ -1,0 +1,67 @@
+// tcprx_check configuration, loaded from the checked-in tcprx_check.toml.
+//
+// The parser accepts the small TOML subset the config actually uses — [section]
+// headers, `key = value` with string / bool / integer / string-array values (arrays
+// may span lines), and `#` comments — so the analyzer stays dependency-free. The
+// config is data, not policy: every rule reads its layer lists, token lists, and
+// exempt files from here, which is what lets the fixture tests run the same engine
+// against a synthetic tree.
+
+#ifndef SRC_ANALYSIS_CONFIG_H_
+#define SRC_ANALYSIS_CONFIG_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcprx::analysis {
+
+struct Config {
+  // -- determinism ------------------------------------------------------------------
+  // Identifiers banned when called (followed by '('): wall clocks, libc RNG.
+  std::vector<std::string> determinism_banned_calls;
+  // Identifiers banned on sight: std RNG engine/clock type names.
+  std::vector<std::string> determinism_banned_types;
+  // Files (repo-relative) exempt from the determinism rule: the sanctioned RNG and
+  // simulated-clock implementations.
+  std::set<std::string> determinism_exempt_files;
+
+  // -- layering ---------------------------------------------------------------------
+  // layer dir (e.g. "src/tcp") -> set of layer dirs it may include from. A layer
+  // missing from the map may not include any "src/..." header outside itself.
+  std::map<std::string, std::set<std::string>> layer_allow;
+
+  // -- byteorder --------------------------------------------------------------------
+  // Files allowed to touch raw big-endian bytes (the byte-order helpers themselves).
+  std::set<std::string> byteorder_helper_files;
+  // Identifiers banned outside the helper files (htons and friends, bswap builtins).
+  std::vector<std::string> byteorder_banned;
+
+  // -- charge -----------------------------------------------------------------------
+  // Layer dirs whose functions must account their cycle costs.
+  std::set<std::string> charge_layers;
+  // Header/payload-touching primitives: calling one inside a charged layer requires a
+  // Charge* call in the same function (or an allow annotation).
+  std::vector<std::string> charge_primitives;
+  // Call names that count as charging.
+  std::vector<std::string> charge_calls;
+
+  // -- smp-share --------------------------------------------------------------------
+  // Layer dir holding the multi-core subsystem.
+  std::string smp_layer = "src/smp";
+  // Classes whose instances are shared across core shards: every mutable data member
+  // must carry a sharing annotation.
+  std::set<std::string> smp_shared_classes;
+  // Annotation macros that satisfy the rule.
+  std::vector<std::string> smp_annotations;
+
+  // Loads from TOML text. Returns false and fills `error` on malformed input.
+  static bool Parse(std::string_view text, Config& out, std::string& error);
+  static bool Load(const std::string& path, Config& out, std::string& error);
+};
+
+}  // namespace tcprx::analysis
+
+#endif  // SRC_ANALYSIS_CONFIG_H_

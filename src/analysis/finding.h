@@ -1,0 +1,21 @@
+// A single rule violation reported by tcprx_check.
+
+#ifndef SRC_ANALYSIS_FINDING_H_
+#define SRC_ANALYSIS_FINDING_H_
+
+#include <string>
+
+namespace tcprx::analysis {
+
+struct Finding {
+  std::string file;     // path as given on the command line, normalized to '/'
+  int line = 0;         // 1-based
+  std::string rule;     // rule id, e.g. "determinism"
+  std::string message;  // human-readable explanation with the offending token
+
+  bool operator==(const Finding&) const = default;
+};
+
+}  // namespace tcprx::analysis
+
+#endif  // SRC_ANALYSIS_FINDING_H_

@@ -1,0 +1,242 @@
+#include "src/analysis/lexer.h"
+
+#include <cctype>
+
+namespace tcprx::analysis {
+namespace {
+
+bool IsWordStart(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+// Records `// tcprx-check: allow(rule1, rule2)` found in a comment. `line` is the
+// line the comment starts on. When the comment stands alone (no code before it on
+// its line), the rules are also appended to `pending` so the lexer can extend the
+// allowance to the next line of real code, however many comment lines intervene.
+void ParseAllowAnnotation(std::string_view comment, int line, bool alone, LexedFile& out,
+                          std::vector<std::string>& pending) {
+  constexpr std::string_view kMarker = "tcprx-check:";
+  const size_t marker = comment.find(kMarker);
+  if (marker == std::string_view::npos) {
+    return;
+  }
+  size_t pos = marker + kMarker.size();
+  while (pos < comment.size() && std::isspace(static_cast<unsigned char>(comment[pos]))) {
+    ++pos;
+  }
+  constexpr std::string_view kAllow = "allow(";
+  if (comment.substr(pos, kAllow.size()) != kAllow) {
+    return;
+  }
+  pos += kAllow.size();
+  const size_t close = comment.find(')', pos);
+  if (close == std::string_view::npos) {
+    return;
+  }
+  std::string_view rules = comment.substr(pos, close - pos);
+  while (!rules.empty()) {
+    const size_t comma = rules.find(',');
+    std::string_view rule = rules.substr(0, comma);
+    rules = comma == std::string_view::npos ? std::string_view{} : rules.substr(comma + 1);
+    while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.front()))) {
+      rule.remove_prefix(1);
+    }
+    while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.back()))) {
+      rule.remove_suffix(1);
+    }
+    if (!rule.empty()) {
+      out.allowed_lines[std::string(rule)].insert(line);
+      if (alone) {
+        pending.emplace_back(rule);
+      }
+    }
+  }
+}
+
+// Parses an include directive from a full preprocessor line (sans the leading '#').
+void ParseIncludeLine(std::string_view rest, int line, LexedFile& out) {
+  size_t pos = 0;
+  while (pos < rest.size() && std::isspace(static_cast<unsigned char>(rest[pos]))) {
+    ++pos;
+  }
+  if (pos >= rest.size()) {
+    return;
+  }
+  const char open = rest[pos];
+  const char close = open == '<' ? '>' : '"';
+  if (open != '<' && open != '"') {
+    return;
+  }
+  const size_t end = rest.find(close, pos + 1);
+  if (end == std::string_view::npos) {
+    return;
+  }
+  out.includes.push_back(
+      {std::string(rest.substr(pos + 1, end - pos - 1)), line, open == '<'});
+}
+
+}  // namespace
+
+LexedFile Lex(std::string_view src) {
+  LexedFile out;
+  int line = 1;
+  size_t i = 0;
+  bool line_has_token = false;   // a real token has appeared on the current line
+  int directives_seen = 0;       // for header-guard detection
+  std::string guard_macro;       // macro named by a leading #ifndef
+  // Rules from standalone annotation comments, waiting for the next code line.
+  std::vector<std::string> pending_rules;
+
+  auto at = [&](size_t k) { return k < src.size() ? src[k] : '\0'; };
+  // Called when `line` carries real code (or a directive): any annotation pending
+  // from the comment block above lands here and stops pending.
+  auto flush_pending = [&] {
+    for (const std::string& rule : pending_rules) {
+      out.allowed_lines[rule].insert(line);
+    }
+    pending_rules.clear();
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      line_has_token = false;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Comments: consumed, scanned for allow annotations.
+    if (c == '/' && at(i + 1) == '/') {
+      const size_t end = src.find('\n', i);
+      const std::string_view body =
+          src.substr(i, end == std::string_view::npos ? src.size() - i : end - i);
+      ParseAllowAnnotation(body, line, !line_has_token, out, pending_rules);
+      i = end == std::string_view::npos ? src.size() : end;
+      continue;
+    }
+    if (c == '/' && at(i + 1) == '*') {
+      const int start_line = line;
+      const bool alone = !line_has_token;
+      size_t k = i + 2;
+      while (k + 1 < src.size() && !(src[k] == '*' && src[k + 1] == '/')) {
+        if (src[k] == '\n') {
+          ++line;
+        }
+        ++k;
+      }
+      ParseAllowAnnotation(src.substr(i, k + 2 - i), start_line, alone, out, pending_rules);
+      i = k + 2 < src.size() ? k + 2 : src.size();
+      continue;
+    }
+
+    // String and character literals: consumed whole, including raw strings.
+    if (c == 'R' && at(i + 1) == '"') {
+      flush_pending();
+      size_t k = i + 2;
+      std::string delim;
+      while (k < src.size() && src[k] != '(') {
+        delim.push_back(src[k++]);
+      }
+      const std::string closer = ")" + delim + "\"";
+      const size_t end = src.find(closer, k);
+      const size_t stop = end == std::string_view::npos ? src.size() : end + closer.size();
+      for (size_t j = i; j < stop; ++j) {
+        if (src[j] == '\n') {
+          ++line;
+        }
+      }
+      i = stop;
+      line_has_token = true;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      flush_pending();
+      size_t k = i + 1;
+      while (k < src.size() && src[k] != c) {
+        if (src[k] == '\\' && k + 1 < src.size()) {
+          ++k;  // skip the escaped character (covers \" and \\)
+        } else if (src[k] == '\n') {
+          ++line;  // unterminated literal; keep line numbers sane
+        }
+        ++k;
+      }
+      i = k + 1;
+      line_has_token = true;
+      continue;
+    }
+
+    // Preprocessor directives: captured for includes and guard detection, and their
+    // tokens are NOT fed to the rules (a `#if defined(...)` is not a call).
+    if (c == '#' && !line_has_token) {
+      flush_pending();
+      size_t end = src.find('\n', i);
+      // Honor line continuations.
+      while (end != std::string_view::npos && end > 0 && src[end - 1] == '\\') {
+        ++line;
+        end = src.find('\n', end + 1);
+      }
+      const std::string_view directive =
+          src.substr(i + 1, (end == std::string_view::npos ? src.size() : end) - i - 1);
+      size_t p = 0;
+      while (p < directive.size() && std::isspace(static_cast<unsigned char>(directive[p]))) {
+        ++p;
+      }
+      size_t q = p;
+      while (q < directive.size() && IsWordStart(directive[q])) {
+        ++q;
+      }
+      const std::string_view keyword = directive.substr(p, q - p);
+      auto word_after = [&]() {
+        size_t a = q;
+        while (a < directive.size() && std::isspace(static_cast<unsigned char>(directive[a]))) {
+          ++a;
+        }
+        size_t b = a;
+        while (b < directive.size() && IsWordStart(directive[b])) {
+          ++b;
+        }
+        return std::string(directive.substr(a, b - a));
+      };
+      if (keyword == "include") {
+        ParseIncludeLine(directive.substr(q), line, out);
+      } else if (keyword == "pragma") {
+        if (word_after() == "once") {
+          out.has_pragma_once = true;
+        }
+      } else if (keyword == "ifndef" && directives_seen == 0 && out.tokens.empty()) {
+        // A guard must open the file: an #ifndef after real code is not one.
+        guard_macro = word_after();
+      } else if (keyword == "define" && directives_seen == 1 && !guard_macro.empty()) {
+        out.has_ifndef_guard = word_after() == guard_macro;
+      }
+      ++directives_seen;
+      i = end == std::string_view::npos ? src.size() : end;
+      continue;
+    }
+
+    // Words: identifiers, keywords, numbers.
+    if (IsWordStart(c)) {
+      flush_pending();
+      size_t k = i;
+      while (k < src.size() && IsWordStart(src[k])) {
+        ++k;
+      }
+      out.tokens.push_back({std::string(src.substr(i, k - i)), line, true});
+      i = k;
+      line_has_token = true;
+      continue;
+    }
+
+    // Punctuation, one character at a time ('>>' closing two templates stays easy).
+    flush_pending();
+    out.tokens.push_back({std::string(1, c), line, false});
+    ++i;
+    line_has_token = true;
+  }
+  return out;
+}
+
+}  // namespace tcprx::analysis

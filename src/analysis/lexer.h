@@ -1,0 +1,62 @@
+// A small C++ lexer for tcprx_check.
+//
+// This is deliberately not a real C++ front end: the analyzer's rules are all
+// expressible over an identifier/punctuation token stream plus the preprocessor
+// include lines, which a few hundred lines of hand-rolled scanning handle with zero
+// dependencies (no libclang in the build image, and no build flags needed — the
+// analyzer runs on a bare checkout). Comments and string/char literals are consumed
+// (never tokenized), so banned names inside documentation or log messages are not
+// findings; `// tcprx-check: allow(<rule>)` annotations are extracted from comments
+// during the same pass.
+
+#ifndef SRC_ANALYSIS_LEXER_H_
+#define SRC_ANALYSIS_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcprx::analysis {
+
+struct Token {
+  std::string text;
+  int line = 0;        // 1-based
+  bool is_word = false;  // identifier, keyword, or number (starts with [A-Za-z0-9_])
+};
+
+struct IncludeDirective {
+  std::string path;  // as written between the delimiters
+  int line = 0;
+  bool angled = false;  // <...> rather than "..."
+};
+
+// Everything the rules need from one source file.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+
+  // Lines covered by a `// tcprx-check: allow(rule, ...)` annotation, per rule id.
+  // An annotation on a line with code covers that line; an annotation in a comment
+  // of its own stays pending through the rest of the comment block (and blank
+  // lines) and covers the next line of actual code or preprocessor directive.
+  std::map<std::string, std::set<int>> allowed_lines;
+
+  bool has_pragma_once = false;
+  // True when the first two preprocessor directives are a matching
+  // `#ifndef GUARD` / `#define GUARD` pair.
+  bool has_ifndef_guard = false;
+
+  bool AllowedAt(const std::string& rule, int line) const {
+    auto it = allowed_lines.find(rule);
+    return it != allowed_lines.end() && it->second.count(line) > 0;
+  }
+};
+
+// Lexes `source` (the contents of `display_path`, used only for messages).
+LexedFile Lex(std::string_view source);
+
+}  // namespace tcprx::analysis
+
+#endif  // SRC_ANALYSIS_LEXER_H_

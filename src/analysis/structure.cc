@@ -1,0 +1,166 @@
+#include "src/analysis/structure.h"
+
+namespace tcprx::analysis {
+namespace {
+
+bool IsControlKeyword(const std::string& w) {
+  return w == "if" || w == "else" || w == "for" || w == "while" || w == "switch" ||
+         w == "do" || w == "catch" || w == "try" || w == "return";
+}
+
+// Tokens a function signature may end with between the ')' and the body '{'.
+bool IsSignatureTail(const Token& t) {
+  if (t.is_word) {
+    return t.text == "const" || t.text == "noexcept" || t.text == "override" ||
+           t.text == "final" || t.text == "mutable" || t.text == "volatile";
+  }
+  return false;
+}
+
+}  // namespace
+
+const Region* StructureInfo::EnclosingClass(size_t i) const {
+  const Region* best = nullptr;
+  for (const Region& r : regions) {
+    if (r.kind == ScopeKind::kClass && r.open < i && i < r.close) {
+      if (best == nullptr || r.open > best->open) {
+        best = &r;
+      }
+    }
+  }
+  return best;
+}
+
+bool StructureInfo::InsideFunction(size_t i) const {
+  for (const Region& r : regions) {
+    if (r.kind == ScopeKind::kFunction && r.open < i && i < r.close) {
+      return true;
+    }
+  }
+  return false;
+}
+
+StructureInfo BuildStructure(const std::vector<Token>& tokens) {
+  StructureInfo info;
+  std::vector<size_t> open_stack;          // indices into info.regions
+  size_t stmt_start = 0;                   // first token of the current statement
+  bool pending_ctor_init = false;          // saw ") :" at class/namespace scope
+
+  auto innermost = [&]() -> ScopeKind {
+    return open_stack.empty() ? ScopeKind::kNamespace
+                              : info.regions[open_stack.back()].kind;
+  };
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.is_word || (t.text != "{" && t.text != "}" && t.text != ";" && t.text != ":")) {
+      continue;
+    }
+    if (t.text == ";") {
+      stmt_start = i + 1;
+      pending_ctor_init = false;
+      continue;
+    }
+    if (t.text == ":") {
+      // Track constructor initializer lists: `Foo(...) : member_(x) {`. Only a ':'
+      // directly after ')' counts; access specifiers and `case` labels do not.
+      if (i > 0 && tokens[i - 1].text == ")" &&
+          (innermost() == ScopeKind::kClass || innermost() == ScopeKind::kNamespace)) {
+        pending_ctor_init = true;
+      }
+      continue;
+    }
+    if (t.text == "}") {
+      if (!open_stack.empty()) {
+        info.regions[open_stack.back()].close = i;
+        open_stack.pop_back();
+      }
+      stmt_start = i + 1;
+      continue;
+    }
+
+    // '{' — classify the region it opens.
+    Region region;
+    region.open = i;
+    region.close = i;  // patched when the matching '}' arrives
+    region.open_line = t.line;
+
+    const ScopeKind outer = innermost();
+    bool classified = false;
+
+    // Statement-level scan: the tokens since the last ; { } boundary.
+    bool has_namespace = false;
+    bool has_class_kw = false;
+    bool has_enum_kw = false;
+    bool has_equals = false;
+    std::string name_after_kw;
+    for (size_t k = stmt_start; k < i; ++k) {
+      const std::string& w = tokens[k].text;
+      if (!tokens[k].is_word) {
+        if (w == "=") {
+          has_equals = true;
+        }
+        continue;
+      }
+      if (w == "namespace") {
+        has_namespace = true;
+        if (k + 1 < i && tokens[k + 1].is_word) {
+          name_after_kw = tokens[k + 1].text;
+        }
+      } else if (w == "class" || w == "struct" || w == "union" || w == "enum") {
+        if (w == "enum") {
+          has_enum_kw = true;
+        } else {
+          has_class_kw = true;
+        }
+        if (k + 1 < i && tokens[k + 1].is_word) {
+          name_after_kw = tokens[k + 1].text;
+        }
+      }
+    }
+
+    if (has_namespace) {
+      region.kind = ScopeKind::kNamespace;
+      region.name = name_after_kw;
+      classified = true;
+    } else if ((has_class_kw || has_enum_kw) && !has_equals &&
+               (i == 0 || tokens[i - 1].text != ")")) {
+      // `class X : public Y {` / `enum class E {`. An '=' in the statement means a
+      // brace-initialized variable of class type instead.
+      region.kind = has_enum_kw ? ScopeKind::kEnum : ScopeKind::kClass;
+      region.name = name_after_kw;
+      classified = true;
+    }
+
+    if (!classified) {
+      // Walk back over any signature tail to find a ')': `void F(...) const {`.
+      size_t k = i;
+      while (k > stmt_start && IsSignatureTail(tokens[k - 1])) {
+        --k;
+      }
+      const bool after_paren = k > stmt_start && tokens[k - 1].text == ")";
+      const bool first_is_control =
+          stmt_start < i && tokens[stmt_start].is_word && IsControlKeyword(tokens[stmt_start].text);
+      const bool at_decl_scope =
+          outer == ScopeKind::kNamespace || outer == ScopeKind::kClass;
+      if (at_decl_scope && !first_is_control &&
+          (after_paren || (pending_ctor_init &&
+                           (i == 0 || tokens[i - 1].text == ")" || tokens[i - 1].text == "}"))) &&
+          !has_equals) {
+        region.kind = ScopeKind::kFunction;
+        pending_ctor_init = false;
+        classified = true;
+      }
+    }
+    if (!classified) {
+      region.kind = ScopeKind::kBlock;
+    }
+
+    open_stack.push_back(info.regions.size());
+    info.regions.push_back(region);
+    stmt_start = i + 1;
+  }
+  return info;
+}
+
+}  // namespace tcprx::analysis

@@ -1,0 +1,52 @@
+// Brace-structure recovery over the token stream: which regions are namespaces,
+// classes, enums, or function bodies.
+//
+// The charge-completeness rule needs "was Charge called in the same function as this
+// memcpy", and the SMP-sharing rule needs "is this declaration at namespace/class
+// scope" — both answerable from a classified brace tree, without a real parser. The
+// classification is heuristic but deliberately fails safe: an unrecognized brace
+// becomes a kBlock, which merges into its enclosing function rather than hiding
+// tokens from the rules.
+
+#ifndef SRC_ANALYSIS_STRUCTURE_H_
+#define SRC_ANALYSIS_STRUCTURE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lexer.h"
+
+namespace tcprx::analysis {
+
+enum class ScopeKind {
+  kNamespace,
+  kClass,  // class/struct/union
+  kEnum,
+  kFunction,
+  kBlock,  // control flow, lambda bodies, brace initializers
+};
+
+struct Region {
+  ScopeKind kind = ScopeKind::kBlock;
+  std::string name;      // class or namespace name when one is present
+  size_t open = 0;       // token index of '{'
+  size_t close = 0;      // token index of matching '}' (== open when unbalanced)
+  int open_line = 0;
+};
+
+struct StructureInfo {
+  // All brace regions in opening order. Nested regions appear after their parents.
+  std::vector<Region> regions;
+
+  // The innermost class region containing token `i`, or nullptr.
+  const Region* EnclosingClass(size_t i) const;
+  // True when token `i` is inside some function body (or deeper).
+  bool InsideFunction(size_t i) const;
+};
+
+StructureInfo BuildStructure(const std::vector<Token>& tokens);
+
+}  // namespace tcprx::analysis
+
+#endif  // SRC_ANALYSIS_STRUCTURE_H_

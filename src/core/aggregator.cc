@@ -55,6 +55,8 @@ Aggregator::Eligibility Aggregator::CheckEligibility(const Packet& frame,
   if (view.ip.IsFragmented()) {
     return {false, AggrBypassReason::kIpFragment};
   }
+  // tcprx-check: allow(charge) -- eligibility runs under the aggr_early_demux/
+  // aggr_match cycles NetworkStack charges per frame before calling Push.
   if (!VerifyIpv4Checksum(
           frame.Bytes().subspan(view.ip_offset, view.ip.HeaderSize()))) {
     return {false, AggrBypassReason::kBadIpChecksum};
@@ -79,6 +81,8 @@ Aggregator::Eligibility Aggregator::CheckEligibility(const Packet& frame,
 
 void Aggregator::Push(PacketPtr frame) {
   ++stats_.pushed;
+  // tcprx-check: allow(charge) -- NetworkStack charges aggr_early_demux +
+  // aggr_match per frame immediately before Push; this parse is that demux work.
   auto parsed = ParseTcpFrame(frame->Bytes());
   if (!parsed.has_value()) {
     ++stats_.bypass[static_cast<size_t>(AggrBypassReason::kNotTcp)];
@@ -206,6 +210,8 @@ void Aggregator::RewriteAggregateHeader(Partial& partial) {
   const uint16_t total_length = static_cast<uint16_t>(datagram_size);
   StoreBe16(bytes.data() + ip_off + 2, total_length);
   StoreBe16(bytes.data() + ip_off + 10, 0);
+  // tcprx-check: allow(charge) -- 20-byte IP header re-checksum of the aggregate;
+  // priced into aggr_flush_per_host_packet, charged by the stack's deliver hook.
   const uint16_t ip_csum = InternetChecksum(bytes.subspan(ip_off, ip_hsize));
   StoreBe16(bytes.data() + ip_off + 10, ip_csum);
 

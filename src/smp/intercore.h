@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "src/tcp/tcp_types.h"
+#include "src/util/annotations.h"
 
 namespace tcprx {
 
@@ -66,9 +67,11 @@ class InterCoreModel {
   uint64_t transfers() const { return transfers_; }
 
  private:
-  InterCoreCostParams costs_;
-  std::array<int, kSharedLineCount> owner_{-1, -1, -1, -1};
-  uint64_t transfers_ = 0;
+  InterCoreCostParams costs_ TCPRX_SHARED;  // immutable after construction
+  // Written by every shard that touches a shared line; serialized by the
+  // single-threaded event loop, which is what makes the model deterministic.
+  std::array<int, kSharedLineCount> owner_ TCPRX_GUARDED_BY(event_loop) = {-1, -1, -1, -1};
+  uint64_t transfers_ TCPRX_GUARDED_BY(event_loop) = 0;
 };
 
 // Flow -> owning-core table (the software analogue of the RSS indirection table,
@@ -89,7 +92,8 @@ class FlowDirector {
   size_t flows() const { return owners_.size(); }
 
  private:
-  std::unordered_map<FlowKey, size_t, FlowKeyHash> owners_;
+  // First-toucher registration from any shard; serialized by the event loop.
+  std::unordered_map<FlowKey, size_t, FlowKeyHash> owners_ TCPRX_GUARDED_BY(event_loop);
 };
 
 }  // namespace tcprx

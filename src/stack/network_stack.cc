@@ -234,6 +234,8 @@ bool NetworkStack::VerifyHostPacketChecksum(const SkBuff& skb) const {
     return true;  // tx checksum offload on the sender side: field not filled in sim
   }
   const size_t seg_len = view.ip.total_length - view.ip.HeaderSize();
+  // tcprx-check: allow(charge) -- the per-byte cost is billed by the caller, which
+  // charges cache_.ChecksumCycles(segment_bytes) ("csum_partial") for this verify.
   return VerifyTcpChecksum(view.ip.src, view.ip.dst,
                            skb.head->Bytes().subspan(view.tcp_offset, seg_len));
 }

@@ -618,6 +618,8 @@ std::vector<uint8_t> TcpConnection::BuildSegment(uint32_t seq, uint32_t ack, uin
     }
     AppendSackOption(blocks, h.raw_options);
   }
+  // tcprx-check: allow(charge) -- transmit-side serialization; the stack bills the
+  // whole tx pass via ChargeTxStackPass when the output item is emitted.
   return BuildTcpFrame(spec);
 }
 

@@ -1,0 +1,17 @@
+// Fixture (analyzed as src/tcp/fixture.cc, a charged layer): packet-touching
+// primitives with no Charge* call in the same function; both functions must
+// produce [charge] findings.
+#include <cstdint>
+#include <cstring>
+
+namespace tcprx {
+
+inline void CopyPayload(uint8_t* dst, const uint8_t* src, size_t n) {
+  memcpy(dst, src, n);
+}
+
+inline bool Reparse(const uint8_t* frame, size_t n) {
+  return ParseTcpFrame(Span(frame, n)).has_value();
+}
+
+}  // namespace tcprx

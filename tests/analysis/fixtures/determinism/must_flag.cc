@@ -1,0 +1,21 @@
+// Fixture (analyzed as src/tcp/fixture.cc): every construct below must produce a
+// [determinism] finding. Never compiled; token-scanned by analysis_test.
+#include <cstdint>
+
+namespace tcprx {
+
+inline uint64_t WallSeed() {
+  return static_cast<uint64_t>(time(nullptr));
+}
+
+inline uint32_t HostEntropy() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return gen();
+}
+
+struct AddressOrdered {
+  std::map<void* , int> by_address;
+};
+
+}  // namespace tcprx

@@ -1,0 +1,22 @@
+// Fixture (analyzed as src/tcp/fixture.cc): deterministic equivalents of
+// everything must_flag.cc does wrong; the analyzer must stay silent.
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace tcprx {
+
+inline uint64_t SeededDraw(Rng& rng) { return rng.Next(); }
+
+// Calling a *member* named `time` is fine: only free calls are banned.
+inline uint64_t ReadStopwatch(const SimClock& sw) { return sw.time(); }
+
+// The escape hatch, for sanctioned uses with a written reason.
+// tcprx-check: allow(determinism) -- fixture demonstrating the annotation form
+inline uint64_t Sanctioned() { return time(nullptr); }
+
+struct ValueOrdered {
+  std::map<uint64_t, int> by_flow_id;
+};
+
+}  // namespace tcprx

@@ -1,0 +1,5 @@
+// Fixture (analyzed as src/util/fixture.h): a header with no include guard at
+// all; must produce a [guard] finding.
+namespace tcprx {
+inline int kFixtureValue = 1;
+}  // namespace tcprx

@@ -1,0 +1,10 @@
+// Fixture (analyzed as src/util/fixture.h): a conventional #ifndef/#define
+// guard; no finding.
+#ifndef TESTS_ANALYSIS_FIXTURES_GUARD_MUST_PASS_H_
+#define TESTS_ANALYSIS_FIXTURES_GUARD_MUST_PASS_H_
+
+namespace tcprx {
+inline int kFixtureValue = 1;
+}  // namespace tcprx
+
+#endif  // TESTS_ANALYSIS_FIXTURES_GUARD_MUST_PASS_H_

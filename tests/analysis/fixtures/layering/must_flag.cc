@@ -1,0 +1,8 @@
+// Fixture (analyzed as src/nic/fixture.cc): a NIC-layer file reaching up the
+// stack. Both src/ includes must produce [layering] findings.
+#include "src/stack/network_stack.h"
+#include "src/tcp/tcp_connection.h"
+
+namespace tcprx {
+inline int Nothing() { return 0; }
+}  // namespace tcprx

@@ -1,0 +1,13 @@
+// Fixture (analyzed as src/nic/fixture.cc): a NIC-layer file including only
+// downward (buffer, wire, util), itself, and system headers.
+#include <cstdint>
+#include <vector>
+
+#include "src/buffer/packet.h"
+#include "src/nic/link.h"
+#include "src/util/event_loop.h"
+#include "src/wire/raw_view.h"
+
+namespace tcprx {
+inline int Nothing() { return 0; }
+}  // namespace tcprx

@@ -1,0 +1,23 @@
+// Fixture (analyzed as src/smp/fixture.h): unannotated cross-core state — a
+// mutable static and a mutable member of a shared class; both must produce
+// [smp-share] findings.
+#ifndef TESTS_ANALYSIS_FIXTURES_SMP_SHARE_MUST_FLAG_H_
+#define TESTS_ANALYSIS_FIXTURES_SMP_SHARE_MUST_FLAG_H_
+
+#include <cstdint>
+
+namespace tcprx {
+
+static uint64_t g_handoff_count = 0;
+
+class InterCoreModel {
+ public:
+  void Bump() { ++transfers_; }
+
+ private:
+  uint64_t transfers_ = 0;
+};
+
+}  // namespace tcprx
+
+#endif  // TESTS_ANALYSIS_FIXTURES_SMP_SHARE_MUST_FLAG_H_

@@ -1,0 +1,32 @@
+// Fixture (analyzed as src/smp/fixture.h): the same state as must_flag.h with
+// sharing annotations, plus immutable forms that need none. No findings.
+#ifndef TESTS_ANALYSIS_FIXTURES_SMP_SHARE_MUST_PASS_H_
+#define TESTS_ANALYSIS_FIXTURES_SMP_SHARE_MUST_PASS_H_
+
+#include <cstdint>
+
+#include "src/util/annotations.h"
+
+namespace tcprx {
+
+static uint64_t g_handoff_count TCPRX_GUARDED_BY(event_loop) = 0;
+
+static constexpr uint64_t kHandoffLimit = 64;
+
+class InterCoreModel {
+ public:
+  void Bump() { ++transfers_; }
+
+ private:
+  uint64_t transfers_ TCPRX_GUARDED_BY(event_loop) = 0;
+};
+
+// Not listed in shared_classes: members need no annotation.
+class PerCoreScratch {
+ private:
+  uint64_t count_ = 0;
+};
+
+}  // namespace tcprx
+
+#endif  // TESTS_ANALYSIS_FIXTURES_SMP_SHARE_MUST_PASS_H_

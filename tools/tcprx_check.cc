@@ -1,0 +1,68 @@
+// tcprx_check: the project's domain-invariant static analyzer.
+//
+// Enforces what generic tooling cannot: the simulator must be a deterministic pure
+// function of its seed, includes must follow the receive-path layer DAG, raw
+// big-endian wire bytes stay behind the byte-order helpers, per-packet work in the
+// charged layers must bill cycles through Charger, and cross-core shared state in
+// src/smp must declare its sharing discipline. Rules and their token/layer lists
+// live in tcprx_check.toml; per-line escapes use `// tcprx-check: allow(<rule>)`.
+//
+// Usage: tcprx_check [--config=tcprx_check.toml] [--quiet] path...
+// Exits 0 when the tree is clean, 1 when there are findings, 2 on usage errors.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+
+int main(int argc, char** argv) {
+  std::string config_path = "tcprx_check.toml";
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--config=", 0) == 0) {
+      config_path = arg.substr(9);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: tcprx_check [--config=FILE] [--quiet] path...\n");
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "tcprx_check: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "tcprx_check: no paths given (try: tcprx_check src tools bench)\n");
+    return 2;
+  }
+
+  std::string error;
+  tcprx::analysis::Config config;
+  if (!tcprx::analysis::Config::Load(config_path, config, error)) {
+    std::fprintf(stderr, "tcprx_check: %s\n", error.c_str());
+    return 2;
+  }
+  const std::vector<std::string> files = tcprx::analysis::CollectFiles(paths, error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "tcprx_check: %s\n", error.c_str());
+    return 2;
+  }
+  const std::vector<tcprx::analysis::Finding> findings =
+      tcprx::analysis::RunChecks(files, config, error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "tcprx_check: %s\n", error.c_str());
+    return 2;
+  }
+  if (!quiet) {
+    for (const auto& f : findings) {
+      std::printf("%s\n", tcprx::analysis::FormatFinding(f).c_str());
+    }
+    std::printf("tcprx_check: %zu file(s), %zu finding(s)\n", files.size(), findings.size());
+  }
+  return findings.empty() ? 0 : 1;
+}
